@@ -1,0 +1,239 @@
+package cxlalloc
+
+// One testing.B benchmark per table and figure of the paper's
+// evaluation, each delegating to the internal/bench harness at a scale
+// sized for `go test -bench`. The cxlbench command runs the same
+// experiments at full scale; EXPERIMENTS.md records paper-vs-measured.
+
+import (
+	"testing"
+
+	"cxlalloc/internal/bench"
+)
+
+// benchScale sizes harness runs for -bench: one trial, small op counts.
+func benchScale() bench.Scale {
+	sc := bench.SmallScale()
+	sc.Ops = 20_000
+	sc.Threads = []int{2}
+	return sc
+}
+
+// reportRows surfaces each row's throughput as a named metric.
+func reportRows(b *testing.B, rows []bench.Row) {
+	b.Helper()
+	for _, r := range rows {
+		if r.Failed != "" || r.Throughput == 0 {
+			continue
+		}
+		b.ReportMetric(r.Throughput, r.Allocator+"/"+r.Workload+":ops/s")
+	}
+}
+
+func BenchmarkTable1Properties(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunTable1(benchScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2Workloads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunTable2(benchScale(), 20_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7Recovery(b *testing.B) {
+	var rows []bench.Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.RunFig7(benchScale(), 4_000, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRows(b, rows)
+}
+
+func BenchmarkFig8KVStore(b *testing.B) {
+	// One representative workload per family keeps -bench tractable;
+	// cxlbench sweeps all seven.
+	for _, wl := range []string{"YCSB-A", "MC-15"} {
+		b.Run(wl, func(b *testing.B) {
+			var rows []bench.Row
+			for i := 0; i < b.N; i++ {
+				var err error
+				rows, err = bench.RunFig8(benchScale(), []string{wl})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportRows(b, rows)
+		})
+	}
+}
+
+func BenchmarkFig9Micro(b *testing.B) {
+	var rows []bench.Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.RunFig9(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRows(b, rows)
+}
+
+func BenchmarkFig10Huge(b *testing.B) {
+	sc := benchScale()
+	sc.Ops = 512
+	var rows []bench.Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.RunFig10(sc, []int{1, 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRows(b, rows)
+}
+
+func BenchmarkFig11CASLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunFig11([]int{1, 2}, 200); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig12MCAS(b *testing.B) {
+	sc := benchScale()
+	sc.Ops = 4_000
+	var rows []bench.Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.RunFig12(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRows(b, rows)
+}
+
+func BenchmarkAblationRecovery(b *testing.B) {
+	var rows []bench.Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.RunAblationRecovery(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRows(b, rows)
+}
+
+func BenchmarkAblationOwnerCache(b *testing.B) {
+	var rows []bench.Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.RunAblationOwnerCache(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRows(b, rows)
+}
+
+// --- direct public-API benchmarks ---
+
+func benchPod(b *testing.B) (*Pod, *Thread) {
+	b.Helper()
+	cfg := DefaultConfig()
+	pod, err := NewPod(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	th, err := pod.NewProcess().AttachThread()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pod, th
+}
+
+func BenchmarkAllocFreeSmall(b *testing.B) {
+	_, th := benchPod(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := th.Alloc(64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		th.Free(p)
+	}
+}
+
+func BenchmarkAllocFreeLarge(b *testing.B) {
+	_, th := benchPod(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := th.Alloc(16 << 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		th.Free(p)
+	}
+}
+
+func BenchmarkAllocFreeHuge(b *testing.B) {
+	_, th := benchPod(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := th.Alloc(600 << 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		th.Free(p)
+		if i%64 == 0 {
+			th.Maintain()
+		}
+	}
+}
+
+func BenchmarkRemoteFree(b *testing.B) {
+	pod, producer := benchPod(b)
+	consumer, err := pod.NewProcess().AttachThread()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := producer.Alloc(64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		consumer.Free(p)
+	}
+}
+
+func BenchmarkCrossProcessRead(b *testing.B) {
+	pod, writer := benchPod(b)
+	reader, err := pod.NewProcess().AttachThread()
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := writer.Alloc(4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	writer.Bytes(p, 4096)[0] = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if reader.Bytes(p, 4096)[0] != 1 {
+			b.Fatal("bad read")
+		}
+	}
+}

@@ -1,0 +1,154 @@
+// Command cxlbench regenerates the paper's tables and figures (the
+// counterpart of the artifact's script/run.sh + workload TOMLs).
+//
+// Usage:
+//
+//	cxlbench -exp all                        # everything, default scale
+//	cxlbench -exp fig8 -workloads YCSB-A     # one figure, one workload
+//	cxlbench -exp fig11 -threads 1,4,8,16    # latency sweep
+//	cxlbench -exp table1                     # property matrix
+//	cxlbench -exp fig9 -scale small -out results.ndjson
+//
+// Experiments: table1, table2, fig7, fig8, fig9, fig10, fig11, fig12,
+// ablation-recovery, ablation-owner-cache, ablation-hwcc,
+// ablation-disown, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"cxlalloc/internal/bench"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "all", "experiment to run (comma-separated)")
+		scaleName = flag.String("scale", "default", "small | default")
+		out       = flag.String("out", "", "append NDJSON results to this file")
+		workloads = flag.String("workloads", "", "fig8: comma-separated workload filter")
+		threads   = flag.String("threads", "", "override thread counts, e.g. 1,2,4,8")
+		procs     = flag.Int("procs", 0, "override process count")
+		ops       = flag.Int("ops", 0, "override total operations per trial")
+		trials    = flag.Int("trials", 0, "override trial count")
+	)
+	flag.Parse()
+
+	sc := bench.DefaultScale()
+	if *scaleName == "small" {
+		sc = bench.SmallScale()
+	}
+	if *threads != "" {
+		sc.Threads = nil
+		for _, t := range strings.Split(*threads, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(t))
+			if err != nil {
+				fatal(err)
+			}
+			sc.Threads = append(sc.Threads, n)
+		}
+	}
+	if *procs > 0 {
+		sc.Procs = *procs
+	}
+	if *ops > 0 {
+		sc.Ops = *ops
+	}
+	if *trials > 0 {
+		sc.Trials = *trials
+	}
+
+	var wl []string
+	if *workloads != "" {
+		wl = strings.Split(*workloads, ",")
+	}
+
+	exps := strings.Split(*exp, ",")
+	if *exp == "all" {
+		exps = []string{"table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+			"ablation-recovery", "ablation-owner-cache", "ablation-hwcc", "ablation-disown"}
+	}
+
+	var all []bench.Row
+	for _, e := range exps {
+		rows, err := run(strings.TrimSpace(e), sc, wl)
+		if err != nil {
+			fatal(err)
+		}
+		all = append(all, rows...)
+		print(e, rows)
+	}
+
+	if *out != "" {
+		f, err := os.OpenFile(*out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := bench.WriteNDJSON(f, all); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d rows to %s\n", len(all), *out)
+	}
+}
+
+func run(e string, sc bench.Scale, wl []string) ([]bench.Row, error) {
+	switch e {
+	case "table1":
+		return bench.RunTable1(sc)
+	case "table2":
+		return bench.RunTable2(sc, 0)
+	case "fig7":
+		return bench.RunFig7(sc, 0, 0)
+	case "fig8":
+		return bench.RunFig8(sc, wl)
+	case "fig9":
+		return bench.RunFig9(sc)
+	case "fig10":
+		return bench.RunFig10(sc, nil)
+	case "fig11":
+		return bench.RunFig11(sc.Threads, max(sc.Ops/100, 200))
+	case "fig12":
+		return bench.RunFig12(sc)
+	case "ablation-recovery":
+		return bench.RunAblationRecovery(sc)
+	case "ablation-owner-cache":
+		return bench.RunAblationOwnerCache(sc)
+	case "ablation-hwcc":
+		return bench.RunAblationHWccAccounting(sc)
+	case "ablation-disown":
+		return bench.RunAblationDisown(sc, 0)
+	default:
+		return nil, fmt.Errorf("unknown experiment %q", e)
+	}
+}
+
+func print(e string, rows []bench.Row) {
+	switch e {
+	case "table1":
+		fmt.Print(bench.FormatTable1(rows))
+	case "table2":
+		fmt.Print(bench.FormatTable2(rows))
+	case "fig7":
+		fmt.Print(bench.FormatFig7(rows))
+	case "fig11":
+		fmt.Print(bench.FormatFig11(rows))
+	default:
+		bench.PrintTable(os.Stdout, rows)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cxlbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,257 @@
+// Package cxlalloc is a Go reproduction of "Cxlalloc: Safe and Efficient
+// Memory Allocation for a CXL Pod" (Ni, Sun, Zhu, Witchel — ASPLOS 2026):
+// a user-space memory allocator for a group of hosts sharing
+// CXL-attached memory at cacheline granularity.
+//
+// The allocator addresses the three challenges the paper identifies:
+//
+//   - Limited inter-host hardware cache coherence (HWcc): metadata is
+//     partitioned into a minimal HWcc region (one 8-byte word per slab
+//     plus constants) synchronized with CAS — or with a memory-based
+//     CAS (mCAS) served by simulated near-memory-processing logic when
+//     the pod has no HWcc at all — and a larger SWcc region kept
+//     coherent in software with an explicit flush/fence protocol.
+//
+//   - Cross-process sharing: allocations are addressed by offset
+//     pointers that name the same memory in every process (spatial
+//     pointer consistency), and a simulated SIGSEGV handler installs
+//     missing memory mappings on demand so a pointer minted in one
+//     process can immediately be dereferenced in any other (temporal
+//     pointer consistency). Huge allocations are reclaimed safely across
+//     processes with a hazard-offset protocol.
+//
+//   - Partial failure: all multi-writer metadata is lock-free, every
+//     operation records an 8-byte redo entry before its first effect,
+//     and detectable CAS makes in-flight updates recoverable, so a
+//     thread crash never blocks live threads and recovery is
+//     non-blocking and leak-free.
+//
+// Because this is a simulation-backed reproduction, the "CXL device" is
+// an in-process arena (internal/memsim) with per-thread write-back
+// caches over the SWcc region, simulated per-process page tables
+// (internal/vas), and an NMP mCAS unit (internal/nmp). The allocator
+// code is identical across coherence models; select one with
+// Config.Mode.
+//
+// # Quick start
+//
+//	pod, _ := cxlalloc.NewPod(cxlalloc.DefaultConfig())
+//	proc := pod.NewProcess()
+//	th, _ := proc.AttachThread()
+//	p, _ := th.Alloc(128)
+//	copy(th.Bytes(p, 5), "hello")
+//	th.Free(p)
+//
+// Multiple Processes share the pod's memory: a Ptr from one process's
+// thread is valid in every other.
+package cxlalloc
+
+import (
+	"fmt"
+	"sync"
+
+	"cxlalloc/internal/core"
+	"cxlalloc/internal/crash"
+	"cxlalloc/internal/memsim"
+	"cxlalloc/internal/vas"
+)
+
+// Ptr is an offset pointer into the pod's shared data region. Ptr 0 is
+// nil. Ptrs are valid in every process of the pod (PC-S).
+type Ptr = core.Ptr
+
+// Config parameterizes a pod; see core.Config for every knob.
+type Config = core.Config
+
+// Footprint is the pod's memory accounting (HWcc/metadata/data bytes).
+type Footprint = core.Footprint
+
+// RecoveryReport describes what thread recovery found and redid.
+type RecoveryReport = core.RecoveryReport
+
+// Crashed is returned by Thread.Run when an injected crash fired.
+type Crashed = crash.Crashed
+
+// Re-exported sentinel errors.
+var (
+	ErrOutOfMemory = core.ErrOutOfMemory
+	ErrTooLarge    = core.ErrTooLarge
+)
+
+// DefaultConfig returns a moderate configuration suitable for examples
+// and tests.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Pod is one simulated CXL pod: a shared memory device plus the heap
+// metadata living in it. All processes and threads of the pod share one
+// Pod value.
+type Pod struct {
+	dev  *memsim.Device
+	heap *core.Heap
+
+	mu       sync.Mutex
+	nextProc int
+	tidUsed  []bool
+}
+
+// NewPod creates a pod with a zeroed device. Zeroed memory is a valid
+// heap, so the pod is immediately usable by any number of processes.
+func NewPod(cfg Config) (*Pod, error) {
+	dc, err := core.DeviceFor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	dev := memsim.NewDevice(dc)
+	heap, err := core.NewHeap(cfg, dev)
+	if err != nil {
+		return nil, err
+	}
+	return &Pod{dev: dev, heap: heap, tidUsed: make([]bool, cfg.NumThreads)}, nil
+}
+
+// Heap exposes the underlying allocator for benchmarks and tests.
+func (pod *Pod) Heap() *core.Heap { return pod.heap }
+
+// Device exposes the underlying simulated device.
+func (pod *Pod) Device() *memsim.Device { return pod.dev }
+
+// Process is one simulated OS process: its own virtual address space
+// over the pod's shared memory, with the cxlalloc SIGSEGV handler
+// installed (§3.3).
+type Process struct {
+	pod   *Pod
+	space *vas.Space
+}
+
+// NewProcess attaches a new process to the pod.
+func (pod *Pod) NewProcess() *Process {
+	pod.mu.Lock()
+	id := pod.nextProc
+	pod.nextProc++
+	pod.mu.Unlock()
+	sp := vas.NewSpace(id, pod.dev, pod.heap.Config().PageSize)
+	sp.SetHandler(func(tid int, s *vas.Space, page uint64) bool {
+		return pod.heap.HandleFault(tid, s.Install, page)
+	})
+	return &Process{pod: pod, space: sp}
+}
+
+// ID returns the process identifier.
+func (p *Process) ID() int { return p.space.ID() }
+
+// Space exposes the process's address space (tests, examples).
+func (p *Process) Space() *vas.Space { return p.space }
+
+// FaultStats returns how many on-demand mapping installs this process's
+// signal handler performed.
+func (p *Process) FaultStats() vas.Stats { return p.space.Stats() }
+
+// Thread is one simulated thread, pinned to a thread slot (the paper
+// pins threads to cores). A Thread is NOT safe for concurrent use; give
+// each goroutine its own Thread.
+type Thread struct {
+	proc *Process
+	tid  int
+}
+
+// AttachThread claims the lowest free thread slot in the pod for this
+// process.
+func (p *Process) AttachThread() (*Thread, error) {
+	p.pod.mu.Lock()
+	defer p.pod.mu.Unlock()
+	for tid, used := range p.pod.tidUsed {
+		if !used {
+			if err := p.pod.heap.AttachThread(tid, p.space); err != nil {
+				return nil, err
+			}
+			p.pod.tidUsed[tid] = true
+			return &Thread{proc: p, tid: tid}, nil
+		}
+	}
+	return nil, fmt.Errorf("cxlalloc: all %d thread slots in use", len(p.pod.tidUsed))
+}
+
+// AttachThreadID claims a specific thread slot.
+func (p *Process) AttachThreadID(tid int) (*Thread, error) {
+	p.pod.mu.Lock()
+	defer p.pod.mu.Unlock()
+	if tid < 0 || tid >= len(p.pod.tidUsed) {
+		return nil, fmt.Errorf("cxlalloc: thread ID %d out of range", tid)
+	}
+	if p.pod.tidUsed[tid] {
+		return nil, fmt.Errorf("cxlalloc: thread slot %d already in use", tid)
+	}
+	if err := p.pod.heap.AttachThread(tid, p.space); err != nil {
+		return nil, err
+	}
+	p.pod.tidUsed[tid] = true
+	return &Thread{proc: p, tid: tid}, nil
+}
+
+// ID returns the thread slot index.
+func (t *Thread) ID() int { return t.tid }
+
+// Process returns the owning process.
+func (t *Thread) Process() *Process { return t.proc }
+
+// Alloc allocates size bytes of shared memory.
+func (t *Thread) Alloc(size int) (Ptr, error) {
+	return t.proc.pod.heap.Alloc(t.tid, size)
+}
+
+// Free releases an allocation made by any thread in any process.
+func (t *Thread) Free(p Ptr) {
+	t.proc.pod.heap.Free(t.tid, p)
+}
+
+// Bytes returns the allocation's bytes as seen by this thread's process,
+// installing mappings on demand (PC-T). n must not exceed the usable
+// size.
+func (t *Thread) Bytes(p Ptr, n int) []byte {
+	return t.proc.pod.heap.Bytes(t.tid, p, n)
+}
+
+// UsableSize reports the usable byte count of the allocation at p.
+func (t *Thread) UsableSize(p Ptr) int {
+	return t.proc.pod.heap.UsableSize(t.tid, p)
+}
+
+// Maintain runs the asynchronous huge-heap cleanup for this thread
+// (hazard sweep + descriptor reclamation, §3.3.2). Long-running threads
+// should call it occasionally.
+func (t *Thread) Maintain() {
+	t.proc.pod.heap.Maintain(t.tid)
+}
+
+// Footprint returns the pod's memory accounting as seen by this thread.
+func (t *Thread) Footprint() Footprint {
+	return t.proc.pod.heap.Footprint(t.tid)
+}
+
+// Run executes f; if an injected crash point fires (Config.Crash), the
+// panic is caught, the thread slot is marked crashed exactly as the
+// crash left it, and the Crashed value is returned. The Thread must not
+// be used again; recover the slot with Process.Recover.
+func (t *Thread) Run(f func()) *Crashed {
+	c := crash.Run(f)
+	if c != nil {
+		t.proc.pod.heap.MarkCrashed(t.tid)
+	}
+	return c
+}
+
+// Kill marks the thread as crashed immediately (outside any operation).
+func (t *Thread) Kill() {
+	t.proc.pod.heap.MarkCrashed(t.tid)
+}
+
+// Recover runs the non-blocking recovery protocol (§3.4.2) on a crashed
+// thread slot, rebinding it to this process, and returns a fresh Thread
+// plus the recovery report.
+func (p *Process) Recover(tid int) (*Thread, RecoveryReport, error) {
+	rep, err := p.pod.heap.RecoverThread(tid, p.space)
+	if err != nil {
+		return nil, rep, err
+	}
+	return &Thread{proc: p, tid: tid}, rep, nil
+}

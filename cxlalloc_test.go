@@ -1,0 +1,224 @@
+package cxlalloc
+
+import (
+	"sync"
+	"testing"
+
+	"cxlalloc/internal/atomicx"
+	"cxlalloc/internal/crash"
+)
+
+func smallPodConfig() Config {
+	cfg := DefaultConfig()
+	cfg.NumThreads = 8
+	cfg.MaxSmallSlabs = 64
+	cfg.MaxLargeSlabs = 8
+	cfg.HugeRegionSize = 1 << 20
+	cfg.NumReservations = 8
+	cfg.DescsPerThread = 16
+	cfg.NumHazards = 8
+	return cfg
+}
+
+func TestPodQuickstart(t *testing.T) {
+	pod, err := NewPod(smallPodConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc := pod.NewProcess()
+	th, err := proc.AttachThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := th.Alloc(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(th.Bytes(p, 5), "hello")
+	if got := string(th.Bytes(p, 5)); got != "hello" {
+		t.Fatalf("read back %q", got)
+	}
+	if th.UsableSize(p) < 128 {
+		t.Fatal("usable size too small")
+	}
+	th.Free(p)
+	if f := th.Footprint(); f.Total() == 0 {
+		t.Fatal("footprint empty after use")
+	}
+}
+
+func TestPodCrossProcessSharing(t *testing.T) {
+	pod, _ := NewPod(smallPodConfig())
+	procA, procB := pod.NewProcess(), pod.NewProcess()
+	if procA.ID() == procB.ID() {
+		t.Fatal("duplicate process IDs")
+	}
+	a, _ := procA.AttachThread()
+	b, _ := procB.AttachThread()
+	p, err := a.Alloc(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(a.Bytes(p, 9), "cxl-pod-!")
+	if got := string(b.Bytes(p, 9)); got != "cxl-pod-!" {
+		t.Fatalf("cross-process read = %q", got)
+	}
+	if procB.FaultStats().Faults == 0 {
+		t.Fatal("process B read without faulting: PC-T untested")
+	}
+	b.Free(p) // remote free
+}
+
+func TestPodThreadSlotManagement(t *testing.T) {
+	cfg := smallPodConfig()
+	cfg.NumThreads = 2
+	pod, _ := NewPod(cfg)
+	proc := pod.NewProcess()
+	t1, err := proc.AttachThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := proc.AttachThreadID(t1.ID()); err == nil {
+		t.Fatal("claimed an in-use slot")
+	}
+	t2, err := proc.AttachThreadID(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.ID() == t2.ID() {
+		t.Fatal("duplicate thread IDs")
+	}
+	if _, err := proc.AttachThread(); err == nil {
+		t.Fatal("attached beyond NumThreads")
+	}
+	if _, err := proc.AttachThreadID(99); err == nil {
+		t.Fatal("attached out-of-range slot")
+	}
+}
+
+func TestPodCrashAndRecover(t *testing.T) {
+	cfg := smallPodConfig()
+	inj := crash.NewInjector()
+	cfg.Crash = inj
+	pod, _ := NewPod(cfg)
+	proc := pod.NewProcess()
+	th, _ := proc.AttachThread()
+
+	inj.Arm("small.alloc.post-take", th.ID(), 0)
+	c := th.Run(func() { th.Alloc(64) })
+	if c == nil {
+		t.Fatal("crash never fired")
+	}
+	inj.Disarm()
+
+	th2, rep, err := proc.Recover(th.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PendingAlloc == 0 {
+		t.Fatal("pending allocation not reported")
+	}
+	th2.Free(rep.PendingAlloc) // the app declines the orphaned block
+	p, err := th2.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th2.Free(p)
+}
+
+func TestPodKillAndRecoverCrossProcess(t *testing.T) {
+	pod, _ := NewPod(smallPodConfig())
+	procA := pod.NewProcess()
+	a, _ := procA.AttachThread()
+	p, _ := a.Alloc(256)
+	copy(a.Bytes(p, 4), "live")
+	a.Kill()
+	// The whole process died; recover the slot into a new process.
+	procB := pod.NewProcess()
+	b, rep, err := procB.Recover(a.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Op != "none" {
+		t.Fatalf("unexpected in-flight op %q", rep.Op)
+	}
+	if got := string(b.Bytes(p, 4)); got != "live" {
+		t.Fatalf("data lost across process restart: %q", got)
+	}
+	b.Free(p)
+}
+
+func TestPodConcurrentThreads(t *testing.T) {
+	pod, _ := NewPod(smallPodConfig())
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		proc := pod.NewProcess()
+		th, err := proc.AttachThread()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(th *Thread) {
+			defer wg.Done()
+			for j := 0; j < 2000; j++ {
+				p, err := th.Alloc(1 + j%1500)
+				if err != nil {
+					t.Errorf("thread %d: %v", th.ID(), err)
+					return
+				}
+				th.Bytes(p, 1)[0] = byte(j)
+				th.Free(p)
+			}
+		}(th)
+	}
+	wg.Wait()
+}
+
+func TestPodModes(t *testing.T) {
+	for _, mode := range []atomicx.Mode{atomicx.ModeDRAM, atomicx.ModeHWcc, atomicx.ModeSWFlush, atomicx.ModeMCAS} {
+		cfg := smallPodConfig()
+		cfg.Mode = mode
+		pod, err := NewPod(cfg)
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		proc := pod.NewProcess()
+		th, _ := proc.AttachThread()
+		p, err := th.Alloc(100)
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		th.Free(p)
+	}
+}
+
+func TestPodHugeLifecycle(t *testing.T) {
+	pod, _ := NewPod(smallPodConfig())
+	proc := pod.NewProcess()
+	th, _ := proc.AttachThread()
+	p, err := th.Alloc(600 << 10) // > 512 KiB: huge heap
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := th.Bytes(p, 600<<10)
+	b[0], b[len(b)-1] = 1, 2
+	th.Free(p)
+	th.Maintain()
+	// Space reclaimed: can allocate again repeatedly.
+	for i := 0; i < 4; i++ {
+		q, err := th.Alloc(600 << 10)
+		if err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		th.Free(q)
+		th.Maintain()
+	}
+}
+
+func TestPodInvalidConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumThreads = -1
+	if _, err := NewPod(cfg); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

@@ -1,0 +1,69 @@
+// Quickstart: create a pod, attach a process and a thread, allocate,
+// share, and free memory.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cxlalloc"
+)
+
+func main() {
+	// A pod is one shared CXL memory device plus its heap metadata.
+	// Zeroed memory is a valid heap: no initialization coordination.
+	pod, err := cxlalloc.NewPod(cxlalloc.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Each simulated OS process gets its own virtual address space with
+	// cxlalloc's fault handler installed.
+	proc := pod.NewProcess()
+	th, err := proc.AttachThread()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Allocate from the small heap (8 B – 1 KiB classes).
+	p, err := th.Alloc(128)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("allocated 128 B at offset %#x (usable %d B)\n", p, th.UsableSize(p))
+
+	// Pointers are offsets; Bytes resolves them in this process.
+	copy(th.Bytes(p, 13), "hello, pod!!!")
+	fmt.Printf("wrote and read back: %q\n", th.Bytes(p, 13))
+
+	// A second process dereferences the same pointer: the simulated
+	// SIGSEGV handler installs the missing mapping on demand (PC-T).
+	proc2 := pod.NewProcess()
+	th2, err := proc2.AttachThread()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("process %d reads the same offset: %q\n", proc2.ID(), th2.Bytes(p, 13))
+	fmt.Printf("process %d faulted %d mappings in on demand\n",
+		proc2.ID(), proc2.FaultStats().Faults)
+
+	// Remote free: any thread in any process may free it.
+	th2.Free(p)
+
+	// Large (1 KiB – 512 KiB) and huge (> 512 KiB, mapping-backed).
+	large, _ := th.Alloc(100 << 10)
+	huge, err := th.Alloc(2 << 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("large at %#x, huge at %#x\n", large, huge)
+	th.Free(large)
+	th.Free(huge)
+	th.Maintain() // asynchronous huge-heap cleanup (hazard sweep)
+
+	f := th.Footprint()
+	fmt.Printf("footprint: data=%d B, metadata=%d B, HWcc=%d B (%.4f%% of total)\n",
+		f.DataBytes, f.MetaBytes, f.HWccBytes, 100*f.HWccFraction())
+}

@@ -1,0 +1,164 @@
+package cxlalloc
+
+// Fuzz targets: `go test` runs the seed corpus as regression tests;
+// `go test -fuzz=FuzzPodOps` explores further. The pod target decodes
+// arbitrary bytes into an allocate/write/free/crash/recover op stream
+// and checks full-heap invariants afterwards.
+
+import (
+	"testing"
+
+	"cxlalloc/internal/crash"
+)
+
+func fuzzConfig(inj *crash.Injector) Config {
+	cfg := DefaultConfig()
+	cfg.NumThreads = 4
+	cfg.MaxSmallSlabs = 256
+	cfg.MaxLargeSlabs = 16
+	cfg.HugeRegionSize = 2 << 20
+	cfg.NumReservations = 8
+	cfg.DescsPerThread = 32
+	cfg.NumHazards = 16
+	cfg.Crash = inj
+	return cfg
+}
+
+func FuzzPodOps(f *testing.F) {
+	f.Add([]byte{0x01, 0x40, 0x02, 0x00, 0x03})
+	f.Add([]byte{0x01, 0xFF, 0x01, 0x10, 0x02, 0x01, 0x02, 0x00})
+	f.Add([]byte{0x04, 0x01, 0x40, 0x05, 0x01, 0x10})
+	f.Add([]byte{0x01, 0x08, 0x01, 0x08, 0x01, 0x08, 0x02, 0x02, 0x02, 0x01, 0x02, 0x00})
+
+	f.Fuzz(func(t *testing.T, program []byte) {
+		inj := crash.NewInjector()
+		pod, err := NewPod(fuzzConfig(inj))
+		if err != nil {
+			t.Fatal(err)
+		}
+		procA, procB := pod.NewProcess(), pod.NewProcess()
+		threads := make([]*Thread, 0, 4)
+		for i := 0; i < 4; i++ {
+			proc := procA
+			if i%2 == 1 {
+				proc = procB
+			}
+			th, err := proc.AttachThread()
+			if err != nil {
+				t.Fatal(err)
+			}
+			threads = append(threads, th)
+		}
+		var live []Ptr
+		tid := 0
+		pc := 0
+		next := func() (byte, bool) {
+			if pc >= len(program) {
+				return 0, false
+			}
+			b := program[pc]
+			pc++
+			return b, true
+		}
+		for steps := 0; steps < 512; steps++ {
+			op, ok := next()
+			if !ok {
+				break
+			}
+			th := threads[tid]
+			switch op % 6 {
+			case 0: // switch thread
+				b, _ := next()
+				tid = int(b) % len(threads)
+			case 1: // alloc (size from next byte, scaled)
+				b, _ := next()
+				size := (int(b) + 1) * 37 // 37 .. ~9.5k
+				p, err := th.Alloc(size)
+				if err != nil {
+					continue // OOM under fuzz pressure is legal
+				}
+				th.Bytes(p, 1)[0] = b
+				live = append(live, p)
+			case 2: // free some live pointer (possibly remote)
+				if len(live) == 0 {
+					continue
+				}
+				b, _ := next()
+				i := int(b) % len(live)
+				th.Free(live[i])
+				live = append(live[:i], live[i+1:]...)
+			case 3: // maintain
+				th.Maintain()
+			case 4: // crash at the next alloc, then recover
+				inj.Arm("small.alloc.post-take", th.ID(), 0)
+				c := th.Run(func() {
+					p, err := th.Alloc(64)
+					if err == nil {
+						live = append(live, p)
+					}
+				})
+				inj.Disarm()
+				if c != nil {
+					proc := procA
+					if th.Process().ID() == procB.ID() {
+						proc = procB
+					}
+					th2, rep, err := proc.Recover(th.ID())
+					if err != nil {
+						t.Fatalf("recover: %v", err)
+					}
+					if rep.PendingAlloc != 0 {
+						live = append(live, rep.PendingAlloc)
+					}
+					threads[tid] = th2
+				}
+			case 5: // huge alloc
+				p, err := th.Alloc(600 << 10)
+				if err != nil {
+					continue
+				}
+				live = append(live, p)
+			}
+		}
+		// Cleanup and audit.
+		for _, p := range live {
+			threads[0].Free(p)
+		}
+		for _, th := range threads {
+			th.Maintain()
+		}
+		if err := pod.Heap().CheckAll(threads[0].ID()); err != nil {
+			t.Fatalf("invariants violated by program %x: %v", program, err)
+		}
+	})
+}
+
+func FuzzCrossProcessBytes(f *testing.F) {
+	f.Add(uint16(100), []byte("hello"))
+	f.Add(uint16(4096), []byte{0})
+	f.Fuzz(func(t *testing.T, sizeRaw uint16, data []byte) {
+		size := int(sizeRaw)%60000 + 1
+		pod, err := NewPod(fuzzConfig(nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, _ := pod.NewProcess().AttachThread()
+		b, _ := pod.NewProcess().AttachThread()
+		p, err := a.Alloc(size)
+		if err != nil {
+			t.Skip("heap too small for fuzz case")
+		}
+		n := len(data)
+		if n > size {
+			n = size
+		}
+		copy(a.Bytes(p, size), data[:n])
+		got := b.Bytes(p, size)
+		for i := 0; i < n; i++ {
+			if got[i] != data[i] {
+				t.Fatalf("byte %d: %d != %d", i, got[i], data[i])
+			}
+		}
+		b.Free(p)
+	})
+}

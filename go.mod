@@ -1,0 +1,3 @@
+module cxlalloc
+
+go 1.22

@@ -1,0 +1,136 @@
+package alloc
+
+import (
+	"sync/atomic"
+)
+
+// Arena is the shared-memory-file analogue every baseline allocates
+// from (the evaluation backs each allocator with a 64 GiB shared memory
+// file; here the size is configurable). It provides lock-free bump
+// allocation and touched-page accounting for the PSS metric.
+type Arena struct {
+	data    []byte
+	shadow  []uint64      // word plane: atomic view of the same offsets
+	next    atomic.Uint64 // bump pointer
+	touched []uint64      // atomic bitmap of touched pages
+	pages   atomic.Uint64 // count of touched pages
+	pageSz  uint64
+}
+
+// NewArena creates an arena of size bytes with the given accounting
+// page size. Offset 0 is reserved (nil pointer): the bump pointer
+// starts at one page.
+func NewArena(size int, pageSize int) *Arena {
+	if pageSize <= 0 || pageSize&(pageSize-1) != 0 {
+		panic("alloc: page size must be a positive power of two")
+	}
+	a := &Arena{
+		data:    make([]byte, size),
+		shadow:  make([]uint64, size/8),
+		touched: make([]uint64, (size/pageSize+63)/64),
+		pageSz:  uint64(pageSize),
+	}
+	a.next.Store(uint64(pageSize))
+	return a
+}
+
+// Size returns the arena capacity in bytes.
+func (a *Arena) Size() uint64 { return uint64(len(a.data)) }
+
+// Bump claims n bytes (aligned to align) from the end of the arena,
+// returning 0 if exhausted. Lock-free.
+func (a *Arena) Bump(n, align uint64) Ptr {
+	for {
+		cur := a.next.Load()
+		off := (cur + align - 1) / align * align
+		end := off + n
+		if end > uint64(len(a.data)) {
+			return 0
+		}
+		if a.next.CompareAndSwap(cur, end) {
+			a.markTouched(off, n)
+			return off
+		}
+	}
+}
+
+// Used returns the bump high-water mark.
+func (a *Arena) Used() uint64 { return a.next.Load() }
+
+// Bytes returns the arena bytes at [off, off+n).
+func (a *Arena) Bytes(off, n uint64) []byte {
+	return a.data[off : off+n : off+n]
+}
+
+// markTouched records the pages of [off, off+n) as resident.
+func (a *Arena) markTouched(off, n uint64) {
+	if n == 0 {
+		return
+	}
+	for p := off / a.pageSz; p <= (off+n-1)/a.pageSz; p++ {
+		w, b := p/64, uint64(1)<<(p%64)
+		if atomic.LoadUint64(&a.touched[w])&b != 0 {
+			continue
+		}
+		for {
+			old := atomic.LoadUint64(&a.touched[w])
+			if old&b != 0 {
+				break
+			}
+			if atomic.CompareAndSwapUint64(&a.touched[w], old, old|b) {
+				a.pages.Add(1)
+				break
+			}
+		}
+	}
+}
+
+// Touch marks [off, off+n) as accessed (callers touching previously
+// bump-reserved space, e.g. block reuse after coalescing).
+func (a *Arena) Touch(off, n uint64) { a.markTouched(off, n) }
+
+// TouchedBytes returns the touched-page footprint.
+func (a *Arena) TouchedBytes() uint64 { return a.pages.Load() * a.pageSz }
+
+// Load64 / Store64 / CAS64 access an 8-byte word inside the arena
+// atomically; off must be 8-aligned. Baselines store intrusive free
+// lists and headers inside arena memory (as the real allocators do in
+// their shared memory files), so those words need atomic access.
+func (a *Arena) Load64(off uint64) uint64 {
+	return atomic.LoadUint64(a.word(off))
+}
+
+func (a *Arena) Store64(off uint64, v uint64) {
+	atomic.StoreUint64(a.word(off), v)
+}
+
+func (a *Arena) CAS64(off uint64, old, new uint64) bool {
+	return atomic.CompareAndSwapUint64(a.word(off), old, new)
+}
+
+func (a *Arena) AddInt64(off uint64, delta int64) uint64 {
+	return atomic.AddUint64(a.word(off), uint64(delta))
+}
+
+// word gives a *uint64 view of 8 bytes of arena memory. The arena is a
+// []byte, so we reconstruct word access manually to stay within the
+// standard library: a [8]byte <-> uint64 view via encoding would not be
+// atomic, so arena words live in a parallel word slice covering the
+// whole arena.
+func (a *Arena) word(off uint64) *uint64 {
+	if off%8 != 0 {
+		panic("alloc: unaligned word access")
+	}
+	return &a.words()[off/8]
+}
+
+// words returns the word plane. Go (without unsafe) cannot alias a
+// []byte as []uint64, so the arena keeps a parallel word-plane slice
+// over the same offset space: on real hardware an allocator's inline
+// headers and intrusive free-list links ARE bytes of the heap; here
+// they live in the word plane at the same offsets, which preserves both
+// the layout (inline metadata occupies already-touched data pages, so
+// PSS accounting is unchanged) and atomicity without unsafe.
+func (a *Arena) words() []uint64 {
+	return a.shadow
+}

@@ -1,0 +1,125 @@
+package alloc
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestArenaBump(t *testing.T) {
+	a := NewArena(1<<20, 4096)
+	p1 := a.Bump(100, 8)
+	if p1 == 0 || p1%8 != 0 {
+		t.Fatalf("Bump = %#x", p1)
+	}
+	if p1 < 4096 {
+		t.Fatal("bump handed out the nil guard page")
+	}
+	p2 := a.Bump(100, 64)
+	if p2 <= p1 || p2%64 != 0 {
+		t.Fatalf("second bump = %#x", p2)
+	}
+	if a.Bump(2<<20, 8) != 0 {
+		t.Fatal("oversized bump succeeded")
+	}
+	if a.Size() != 1<<20 {
+		t.Fatalf("Size = %d", a.Size())
+	}
+}
+
+func TestArenaConcurrentBumpDisjoint(t *testing.T) {
+	a := NewArena(8<<20, 4096)
+	var mu sync.Mutex
+	seen := map[Ptr]bool{}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var got []Ptr
+			for i := 0; i < 500; i++ {
+				p := a.Bump(128, 8)
+				if p == 0 {
+					t.Error("bump exhausted unexpectedly")
+					return
+				}
+				got = append(got, p)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, p := range got {
+				if seen[p] {
+					t.Errorf("offset %#x handed out twice", p)
+				}
+				seen[p] = true
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestArenaTouchAccounting(t *testing.T) {
+	a := NewArena(1<<20, 4096)
+	if a.TouchedBytes() != 0 {
+		t.Fatal("fresh arena has touched pages")
+	}
+	a.Bump(10, 8) // touches one page
+	if got := a.TouchedBytes(); got != 4096 {
+		t.Fatalf("touched = %d, want 4096", got)
+	}
+	a.Touch(100<<10, 8192)
+	if got := a.TouchedBytes(); got != 3*4096 {
+		t.Fatalf("touched = %d, want %d", got, 3*4096)
+	}
+	a.Touch(100<<10, 8192) // idempotent
+	if got := a.TouchedBytes(); got != 3*4096 {
+		t.Fatalf("re-touch changed accounting: %d", got)
+	}
+}
+
+func TestArenaWordPlane(t *testing.T) {
+	a := NewArena(1<<16, 4096)
+	a.Store64(4096, 12345)
+	if got := a.Load64(4096); got != 12345 {
+		t.Fatalf("Load64 = %d", got)
+	}
+	if !a.CAS64(4096, 12345, 999) {
+		t.Fatal("CAS failed")
+	}
+	if a.CAS64(4096, 12345, 1) {
+		t.Fatal("stale CAS succeeded")
+	}
+	if got := a.AddInt64(4096, -9); got != 990 {
+		t.Fatalf("AddInt64 = %d", got)
+	}
+	// Byte plane is independent storage at the same offsets.
+	a.Bytes(4096, 8)[0] = 7
+	if a.Load64(4096) != 990 {
+		t.Fatal("byte write corrupted word plane")
+	}
+}
+
+func TestArenaUnalignedWordPanics(t *testing.T) {
+	a := NewArena(1<<16, 4096)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unaligned word access did not panic")
+		}
+	}()
+	a.Load64(4097)
+}
+
+func TestArenaBadPageSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad page size accepted")
+		}
+	}()
+	NewArena(1<<16, 1000)
+}
+
+func TestFootprintPSS(t *testing.T) {
+	f := Footprint{DataBytes: 1, MetaBytes: 2, HWccBytes: 3, TrackingBytes: 4}
+	if f.PSS() != 10 {
+		t.Fatalf("PSS = %d", f.PSS())
+	}
+}

@@ -1,0 +1,143 @@
+// Package atomicx provides the synchronization primitives cxlalloc runs
+// on, parameterized by the pod's coherence model (paper §1, §5.4):
+//
+//   - ModeDRAM: host-local DRAM or fully hardware-coherent shared
+//     memory. CAS is the CPU's CAS ("sw_cas" in Figure 11).
+//   - ModeHWcc: CXL memory with inter-host hardware cache coherence
+//     (Figure 1(A)). Same primitive, CXL-link cost on the round trip.
+//   - ModeSWFlush: no HWcc; mCAS is *emulated* by flushing the target
+//     line and then CASing ("sw_flush_cas"). The paper notes this is
+//     only safe on real hardware within one coherence domain, but many
+//     projects use it to model mCAS; the simulator provides it for the
+//     Figure 11 comparison.
+//   - ModeMCAS: no HWcc; the NMP unit's memory-based CAS ("hw_cas",
+//     §4). Loads and stores of synchronization words are uncached
+//     device-biased accesses through the NMP.
+//
+// All HWcc-region words the allocator synchronizes on go through this
+// package, so switching the pod's coherence assumption is a single
+// configuration change — the property the paper claims for cxlalloc's
+// metadata partitioning.
+package atomicx
+
+import (
+	"cxlalloc/internal/memsim"
+	"cxlalloc/internal/nmp"
+)
+
+// Mode selects the coherence model for HWcc-region words.
+type Mode int
+
+const (
+	ModeDRAM Mode = iota
+	ModeHWcc
+	ModeSWFlush
+	ModeMCAS
+)
+
+// String returns the evaluation's name for the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeDRAM:
+		return "dram"
+	case ModeHWcc:
+		return "hwcc"
+	case ModeSWFlush:
+		return "swflush"
+	case ModeMCAS:
+		return "mcas"
+	default:
+		return "unknown"
+	}
+}
+
+// HW performs loads, stores, and CAS on HWcc-region words under one of
+// the coherence models. All methods are safe for concurrent use.
+type HW struct {
+	dev  *memsim.Device
+	mode Mode
+	unit *nmp.Unit
+	lat  *memsim.Latency
+}
+
+// New returns an HW over dev in the given mode. unit is required for
+// ModeMCAS and ignored otherwise; lat may be nil (no injected latency).
+func New(dev *memsim.Device, mode Mode, unit *nmp.Unit, lat *memsim.Latency) *HW {
+	if mode == ModeMCAS && unit == nil {
+		panic("atomicx: ModeMCAS requires an NMP unit")
+	}
+	return &HW{dev: dev, mode: mode, unit: unit, lat: lat}
+}
+
+// Mode returns the coherence model in use.
+func (h *HW) Mode() Mode { return h.mode }
+
+// Load reads HWcc word w.
+func (h *HW) Load(tid, w int) uint64 {
+	switch h.mode {
+	case ModeMCAS:
+		// Device-biased memory: uncached read through the NMP.
+		return h.unit.Load(tid, w)
+	case ModeSWFlush:
+		// No HWcc: the line must be flushed before the load to read
+		// fresh data, so every load pays a CXL round trip.
+		h.lat.Inject(h.latv().CXLLoad)
+		return h.dev.HWccLoad(w)
+	case ModeHWcc:
+		// Cacheable and coherent: most loads hit the CPU cache.
+		h.lat.Inject(h.latv().LocalLoad)
+		return h.dev.HWccLoad(w)
+	default:
+		h.lat.Inject(h.latv().LocalLoad)
+		return h.dev.HWccLoad(w)
+	}
+}
+
+// Store writes HWcc word w. Stores to synchronization words are only
+// safe where the allocator's protocol rules out concurrent CAS (e.g.
+// reinitializing a slab's remote-free word while holding exclusive
+// ownership).
+func (h *HW) Store(tid, w int, v uint64) {
+	switch h.mode {
+	case ModeMCAS:
+		h.unit.Store(tid, w, v)
+	case ModeSWFlush:
+		h.lat.Inject(h.latv().CXLStore)
+		h.dev.HWccStore(w, v)
+	default:
+		h.lat.Inject(h.latv().LocalStore)
+		h.dev.HWccStore(w, v)
+	}
+}
+
+// CAS attempts to replace old with new in word w. It returns the value
+// observed (old on success, the conflicting current value on failure)
+// and whether the swap occurred.
+func (h *HW) CAS(tid, w int, old, new uint64) (cur uint64, ok bool) {
+	switch h.mode {
+	case ModeMCAS:
+		return h.unit.MCAS(tid, w, old, new)
+	case ModeSWFlush:
+		h.lat.Inject(h.latv().FlushCost)
+		h.lat.Inject(h.latv().CASRTT)
+	case ModeHWcc:
+		h.lat.Inject(h.latv().CASRTT)
+	default:
+		h.lat.Inject(h.latv().CASRTT)
+	}
+	if h.dev.HWccCAS(w, old, new) {
+		return old, true
+	}
+	return h.dev.HWccLoad(w), false
+}
+
+// latv returns the latency model, or a shared disabled model when none
+// was configured, so call sites can read fields unconditionally.
+func (h *HW) latv() *memsim.Latency {
+	if h.lat == nil {
+		return disabledLatency
+	}
+	return h.lat
+}
+
+var disabledLatency = memsim.LatencyOff()

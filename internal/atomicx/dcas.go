@@ -1,0 +1,143 @@
+package atomicx
+
+// Detectable CAS (paper §3.4.2, following Attiya et al. [10]): a CAS
+// whose success can be determined after a crash. cxlalloc uses it for
+// every multi-writer word — heap length, global free-list heads,
+// remote-free counters, and the huge heap's reservation array — so that
+// a thread recovering mid-operation can tell whether its update became
+// visible and redo the operation idempotently.
+//
+// Mechanism: every CAS target embeds the writer's thread ID and a
+// per-thread version alongside the 32-bit payload (the paper notes its
+// CAS targets are at most 32 bits, leaving room for a 16-bit thread ID
+// and 16-bit version in an 8-byte word — which is why the remote-free
+// metadata grows from 2 B to 8 B per slab, §3.4.2). The help protocol
+// uses one HWcc word per thread:
+//
+//  1. Begin: before attempting a CAS for a new operation with version v,
+//     thread t publishes help[t] = v<<1 ("v pending, not yet observed").
+//  2. Help: before any thread overwrites a word whose value is tagged
+//     (t, v), it CASes help[t] from v<<1 to v<<1|1 ("observed"). A failed
+//     help-CAS means either someone else already helped or t has moved
+//     on to a later operation; both make the update unnecessary.
+//  3. Succeeded: on recovery, t's CAS with version v took effect iff the
+//     target still carries the (t, v) tag, or help[t] == v<<1|1.
+//
+// All comparisons are exact matches, so 16-bit version wrap-around is
+// harmless: at most one operation per thread is in flight, and a stale
+// tag (t, v_old) left in some word can never corrupt help[t] once t has
+// begun a later operation, because the help-CAS expects v_old<<1 exactly.
+
+// Word layout: [ tid+1 : 16 | version : 16 | payload : 32 ].
+const (
+	payloadBits = 32
+	payloadMask = (uint64(1) << payloadBits) - 1
+)
+
+// Pack builds a tagged word. tid < 0 builds an untagged word (tag zero),
+// used for initialization stores; a zeroed device is therefore made of
+// valid untagged words, preserving the zero-initialization property.
+func Pack(payload uint32, tid int, ver uint16) uint64 {
+	w := uint64(payload)
+	if tid >= 0 {
+		w |= uint64(ver) << 32
+		w |= uint64(tid+1) << 48
+	}
+	return w
+}
+
+// Payload extracts the 32-bit payload of a tagged word.
+func Payload(w uint64) uint32 { return uint32(w & payloadMask) }
+
+// Tag extracts the writer tag of a word. tagged is false for words
+// written by untagged stores (or never written).
+func Tag(w uint64) (tid int, ver uint16, tagged bool) {
+	t := uint16(w >> 48)
+	if t == 0 {
+		return 0, 0, false
+	}
+	return int(t) - 1, uint16(w >> 32), true
+}
+
+const observedBit = 1
+
+func helpPending(ver uint16) uint64  { return uint64(ver) << 1 }
+func helpObserved(ver uint16) uint64 { return uint64(ver)<<1 | observedBit }
+
+// DCAS layers detectability on an HW. The help array occupies one HWcc
+// word per thread starting at word helpBase.
+type DCAS struct {
+	hw       *HW
+	helpBase int
+	// disabled turns DCAS into plain CAS (the paper's
+	// cxlalloc-nonrecoverable ablation): words are still tagged so the
+	// layout is identical, but no help-array maintenance is performed.
+	disabled bool
+}
+
+// NewDCAS returns a detectable-CAS layer with per-thread help words at
+// helpBase. If disabled, help maintenance is skipped (ablation §5.2).
+func NewDCAS(hw *HW, helpBase int, disabled bool) *DCAS {
+	return &DCAS{hw: hw, helpBase: helpBase, disabled: disabled}
+}
+
+// HW returns the underlying primitive layer.
+func (d *DCAS) HW() *HW { return d.hw }
+
+// Disabled reports whether detectability is turned off.
+func (d *DCAS) Disabled() bool { return d.disabled }
+
+// Begin publishes that thread tid is starting an operation with version
+// ver. It must be called after the operation is recorded in the thread's
+// recovery state and before the first CAS attempt. Retries of the same
+// logical operation reuse the version and need no new Begin.
+func (d *DCAS) Begin(tid int, ver uint16) {
+	if d.disabled {
+		return
+	}
+	d.hw.Store(tid, d.helpBase+tid, helpPending(ver))
+}
+
+// CAS attempts to replace the full word oldWord (as previously loaded by
+// the caller) with a new word tagging (tid, ver) and carrying
+// newPayload.
+func (d *DCAS) CAS(tid int, ver uint16, w int, oldWord uint64, newPayload uint32) bool {
+	if !d.disabled {
+		d.helpBeforeOverwrite(tid, oldWord)
+	}
+	_, ok := d.hw.CAS(tid, w, oldWord, Pack(newPayload, tid, ver))
+	return ok
+}
+
+// Load reads the full tagged word w.
+func (d *DCAS) Load(tid, w int) uint64 { return d.hw.Load(tid, w) }
+
+// Store writes an untagged word; only legal where no concurrent CAS is
+// possible (single-owner reinitialization).
+func (d *DCAS) Store(tid, w int, payload uint32) {
+	d.hw.Store(tid, w, Pack(payload, -1, 0))
+}
+
+// helpBeforeOverwrite marks the previous writer's pending version as
+// observed before destroying the evidence of its success. A single CAS
+// attempt suffices: failure means another helper won or the writer has
+// already begun a later operation.
+func (d *DCAS) helpBeforeOverwrite(tid int, oldWord uint64) {
+	t, v, tagged := Tag(oldWord)
+	if !tagged {
+		return
+	}
+	hw := d.helpBase + t
+	d.hw.CAS(tid, hw, helpPending(v), helpObserved(v))
+}
+
+// Succeeded reports, after a crash, whether thread tid's in-flight CAS
+// with version ver on word w took effect: either the word still carries
+// the (tid, ver) tag, or an overwriter recorded having observed it.
+func (d *DCAS) Succeeded(tid int, ver uint16, w int) bool {
+	cur := d.hw.Load(tid, w)
+	if t, v, tagged := Tag(cur); tagged && t == tid && v == ver {
+		return true
+	}
+	return d.hw.Load(tid, d.helpBase+tid) == helpObserved(ver)
+}

@@ -1,0 +1,108 @@
+// Package boostipc reimplements the design of Boost.Interprocess's
+// shared-memory allocator as the paper's evaluation uses it: an
+// industry cross-process allocator whose defining property — and
+// bottleneck — is a single global mutex around a best/first-fit free
+// list ("Boost and Lightning are fundamentally unscalable, as they both
+// acquire a global mutex", §5.2.1).
+//
+// Properties reproduced (Table 1 row: Mem=XP, XP=yes, mmap=no, Fail=B,
+// Rec=none): offset pointers over a fixed-size shared segment, inline
+// size headers, address-ordered first fit with coalescing, and a mutex
+// that a crashed holder would leave locked forever (blocking failure
+// behaviour).
+package boostipc
+
+import (
+	"sync"
+
+	"cxlalloc/internal/alloc"
+	"cxlalloc/internal/interval"
+)
+
+const headerBytes = 8
+
+// Allocator is the boost-like allocator. The zero value is unusable;
+// call New.
+type Allocator struct {
+	arena *alloc.Arena
+
+	mu     sync.Mutex
+	free   interval.Set
+	meta   uint64 // live header bytes
+	peak   uint64
+	allocs uint64
+}
+
+// New creates a fixed-size shared segment of arenaBytes.
+func New(arenaBytes int) *Allocator {
+	a := &Allocator{arena: alloc.NewArena(arenaBytes, 4096)}
+	// The whole segment (minus the nil guard page) is one free range.
+	a.free.Add(4096, uint64(arenaBytes)-4096)
+	return a
+}
+
+func (a *Allocator) Name() string { return "boost" }
+
+// Alloc takes the global mutex and first-fits from the free set.
+func (a *Allocator) Alloc(tid int, size int) (alloc.Ptr, error) {
+	if size <= 0 {
+		return 0, alloc.ErrUnsupportedSize
+	}
+	n := (uint64(size) + headerBytes + 7) / 8 * 8
+	a.mu.Lock()
+	off, ok := a.free.Alloc(n)
+	if !ok {
+		a.mu.Unlock()
+		return 0, alloc.ErrOutOfMemory
+	}
+	a.meta += headerBytes
+	a.allocs++
+	a.mu.Unlock()
+	a.arena.Store64(off, n) // inline size header
+	a.arena.Touch(off, n)
+	return off + headerBytes, nil
+}
+
+// Free takes the global mutex and returns the range, coalescing.
+func (a *Allocator) Free(tid int, p alloc.Ptr) {
+	off := p - headerBytes
+	n := a.arena.Load64(off)
+	if n == 0 {
+		panic("boostipc: free of unallocated pointer (or double free)")
+	}
+	a.arena.Store64(off, 0)
+	a.mu.Lock()
+	a.free.Add(off, n)
+	a.meta -= headerBytes
+	a.mu.Unlock()
+}
+
+func (a *Allocator) Bytes(tid int, p alloc.Ptr, n int) []byte {
+	return a.arena.Bytes(p, uint64(n))
+}
+
+func (a *Allocator) AccessHook(int, alloc.Ptr) {}
+
+func (a *Allocator) Maintain(int) {}
+
+func (a *Allocator) Footprint() alloc.Footprint {
+	a.mu.Lock()
+	meta := a.meta
+	a.mu.Unlock()
+	return alloc.Footprint{
+		DataBytes: a.arena.TouchedBytes(),
+		MetaBytes: meta,
+	}
+}
+
+func (a *Allocator) Properties() alloc.Properties {
+	return alloc.Properties{
+		Name:            "boost",
+		Memory:          "XP",
+		CrossProcess:    true,
+		Mmap:            false,
+		FailNonBlocking: false, // a crash inside the mutex blocks everyone
+		Recovery:        "none",
+		Strategy:        "none",
+	}
+}

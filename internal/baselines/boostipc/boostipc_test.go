@@ -1,0 +1,59 @@
+package boostipc
+
+import (
+	"testing"
+
+	"cxlalloc/internal/alloc"
+	"cxlalloc/internal/alloc/alloctest"
+)
+
+func TestConformance(t *testing.T) {
+	alloctest.Run(t, func() alloc.Allocator {
+		return New(64 << 20)
+	}, alloctest.Options{})
+}
+
+func TestCoalescingPreventsFragmentation(t *testing.T) {
+	a := New(1 << 20)
+	// Allocate the whole heap in small pieces, free all, then allocate
+	// one big piece: only possible if frees coalesced.
+	var ps []alloc.Ptr
+	for {
+		p, err := a.Alloc(0, 1000)
+		if err != nil {
+			break
+		}
+		ps = append(ps, p)
+	}
+	if len(ps) < 900 {
+		t.Fatalf("only %d small allocations fit", len(ps))
+	}
+	for _, p := range ps {
+		a.Free(0, p)
+	}
+	if _, err := a.Alloc(0, 900<<10); err != nil {
+		t.Fatalf("large alloc after freeing everything: %v (fragmented?)", err)
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	a := New(1 << 20)
+	p, _ := a.Alloc(0, 64)
+	a.Free(0, p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free not detected")
+		}
+	}()
+	a.Free(0, p)
+}
+
+func TestFixedHeapOOM(t *testing.T) {
+	a := New(1 << 20)
+	if _, err := a.Alloc(0, 2<<20); err != alloc.ErrOutOfMemory {
+		t.Fatalf("err = %v, want ErrOutOfMemory (fixed heap, no mmap)", err)
+	}
+	if a.Properties().Mmap {
+		t.Fatal("boost must not advertise mmap support")
+	}
+}

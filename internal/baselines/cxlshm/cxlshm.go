@@ -1,0 +1,190 @@
+// Package cxlshm reimplements the design of CXL-SHM (Zhang et al.,
+// "Partial Failure Resilient Memory Management System for (CXL-based)
+// Distributed Shared Memory", SOSP '23), the paper's state-of-the-art
+// CXL baseline. The properties the evaluation attributes its results
+// to, all reproduced here:
+//
+//   - Lock-free allocation (partial-failure tolerant, like cxlalloc).
+//   - A 24-byte header embedded in every allocation, 8 bytes of which
+//     (the reference count) require hardware cache coherence — metadata
+//     scattered through the heap, which is why the paper cannot compare
+//     it under mCAS ("this would require the whole heap to be marked
+//     uncachable").
+//   - Reference counting on every object access: the KV-store driver
+//     calls AccessHook on reads, creating contention on hot items even
+//     in read-heavy skewed workloads (§5.2.1).
+//   - A fixed-size heap with a maximum allocation size of 1 KiB: larger
+//     requests fail (the paper reports cxl-shm "crashes" on MC-12 and
+//     MC-37).
+//
+// Table 1 row: Mem=CXL, XP=yes, mmap=no, Fail=NB, Rec=NB, Str=GC.
+package cxlshm
+
+import (
+	"sync/atomic"
+
+	"cxlalloc/internal/alloc"
+)
+
+const (
+	headerBytes = 24 // [refcount 8][class 8][owner 8]
+	// MaxSize is the largest supported allocation (the paper: cxl-shm
+	// "does not support allocations larger than 1KiB").
+	MaxSize = 1 << 10
+	// chunkBlocks is how many blocks a thread carves from the arena at
+	// once when a class's free stack is empty.
+	chunkBlocks = 16
+)
+
+var classSizes = []int{16, 32, 64, 128, 256, 512, 1024}
+
+func classOf(size int) int {
+	for c, s := range classSizes {
+		if s >= size {
+			return c
+		}
+	}
+	return -1
+}
+
+// Allocator is the cxl-shm-like allocator. All operations are lock-free.
+type Allocator struct {
+	arena *alloc.Arena
+	// heads[c] is a tagged Treiber-stack head: [ver:24 | offset:40].
+	heads []atomic.Uint64
+
+	live      atomic.Int64 // live allocations (for HWcc accounting)
+	refOps    atomic.Uint64
+	conflicts atomic.Uint64
+}
+
+// New creates a fixed-size heap of arenaBytes.
+func New(arenaBytes int) *Allocator {
+	return &Allocator{
+		arena: alloc.NewArena(arenaBytes, 4096),
+		heads: make([]atomic.Uint64, len(classSizes)),
+	}
+}
+
+func (a *Allocator) Name() string { return "cxl-shm" }
+
+const offMask = (uint64(1) << 40) - 1
+
+func packHead(off uint64, ver uint64) uint64 { return ver<<40 | off&offMask }
+
+// Alloc pops from the class's lock-free stack, refilling from the bump
+// region in chunks.
+func (a *Allocator) Alloc(tid int, size int) (alloc.Ptr, error) {
+	if size <= 0 || size > MaxSize {
+		return 0, alloc.ErrUnsupportedSize
+	}
+	c := classOf(size)
+	block := uint64(classSizes[c]) + headerBytes
+	for {
+		head := a.heads[c].Load()
+		off := head & offMask
+		if off == 0 {
+			if !a.refill(c, block) {
+				return 0, alloc.ErrOutOfMemory
+			}
+			continue
+		}
+		next := a.arena.Load64(off)
+		if a.heads[c].CompareAndSwap(head, packHead(next, head>>40+1)) {
+			a.initHeader(off, c, tid)
+			a.live.Add(1)
+			return off + headerBytes, nil
+		}
+	}
+}
+
+func (a *Allocator) initHeader(off uint64, c, tid int) {
+	a.arena.Store64(off, 1)                // refcount starts at 1 (owner)
+	a.arena.Store64(off+8, uint64(c))      // class
+	a.arena.Store64(off+16, uint64(tid)+1) // owner (for GC recovery)
+}
+
+// refill carves a chunk of blocks and pushes all but none onto the
+// stack (the caller retries the pop, racing fairly with other threads).
+func (a *Allocator) refill(c int, block uint64) bool {
+	base := a.arena.Bump(block*chunkBlocks, 8)
+	if base == 0 {
+		return false
+	}
+	// Link the chunk and splice it onto the stack in one CAS.
+	for i := 0; i < chunkBlocks-1; i++ {
+		a.arena.Store64(base+uint64(i)*block, base+uint64(i+1)*block)
+	}
+	tailOff := base + uint64(chunkBlocks-1)*block
+	for {
+		head := a.heads[c].Load()
+		a.arena.Store64(tailOff, head&offMask)
+		if a.heads[c].CompareAndSwap(head, packHead(base, head>>40+1)) {
+			return true
+		}
+	}
+}
+
+// Free pushes the block back; the embedded refcount word is cleared
+// (the real system frees when the count drops to zero — the KV driver
+// owns exactly one reference here).
+func (a *Allocator) Free(tid int, p alloc.Ptr) {
+	off := p - headerBytes
+	if a.arena.AddInt64(off, -1) != 0 {
+		// Outstanding references: the real system defers; the driver
+		// never does this, so treat it as the double-free signal.
+		panic("cxlshm: free with outstanding references (double free?)")
+	}
+	c := int(a.arena.Load64(off + 8))
+	a.live.Add(-1)
+	for {
+		head := a.heads[c].Load()
+		a.arena.Store64(off, head&offMask) // reuse refcount word as link
+		if a.heads[c].CompareAndSwap(head, packHead(off, head>>40+1)) {
+			return
+		}
+	}
+}
+
+func (a *Allocator) Bytes(tid int, p alloc.Ptr, n int) []byte {
+	return a.arena.Bytes(p, uint64(n))
+}
+
+// AccessHook performs the per-access reference-count round trip: an
+// atomic increment and decrement of the HWcc refcount word. On skewed
+// workloads every reader of a hot object contends on this cache line —
+// the effect the paper measures on YCSB-A/D.
+func (a *Allocator) AccessHook(tid int, p alloc.Ptr) {
+	off := p - headerBytes
+	a.arena.AddInt64(off, 1)
+	a.arena.AddInt64(off, -1)
+	a.refOps.Add(2)
+}
+
+func (a *Allocator) Maintain(int) {}
+
+func (a *Allocator) Footprint() alloc.Footprint {
+	live := uint64(a.live.Load())
+	return alloc.Footprint{
+		DataBytes: a.arena.TouchedBytes(),
+		MetaBytes: live * (headerBytes - 8),
+		// 8 B of HWcc memory per live allocation, embedded in the heap.
+		HWccBytes: live * 8,
+	}
+}
+
+// RefOps returns the number of reference-count operations performed
+// (evaluation instrumentation).
+func (a *Allocator) RefOps() uint64 { return a.refOps.Load() }
+
+func (a *Allocator) Properties() alloc.Properties {
+	return alloc.Properties{
+		Name:            "cxl-shm",
+		Memory:          "CXL",
+		CrossProcess:    true,
+		Mmap:            false,
+		FailNonBlocking: true,
+		Recovery:        "NB",
+		Strategy:        "GC",
+	}
+}

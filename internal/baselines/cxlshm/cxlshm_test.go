@@ -1,0 +1,95 @@
+package cxlshm
+
+import (
+	"sync"
+	"testing"
+
+	"cxlalloc/internal/alloc"
+	"cxlalloc/internal/alloc/alloctest"
+)
+
+func TestConformance(t *testing.T) {
+	alloctest.Run(t, func() alloc.Allocator {
+		return New(64 << 20)
+	}, alloctest.Options{MaxSize: MaxSize})
+}
+
+func TestMaxSizeCap(t *testing.T) {
+	a := New(4 << 20)
+	if _, err := a.Alloc(0, MaxSize); err != nil {
+		t.Fatalf("1 KiB alloc failed: %v", err)
+	}
+	// The paper: cxl-shm crashes on MC-12/MC-37 because it does not
+	// support allocations larger than 1 KiB.
+	if _, err := a.Alloc(0, MaxSize+1); err != alloc.ErrUnsupportedSize {
+		t.Fatalf("err = %v, want ErrUnsupportedSize", err)
+	}
+}
+
+func TestHeaderOverheadAndHWccAccounting(t *testing.T) {
+	a := New(4 << 20)
+	var ps []alloc.Ptr
+	for i := 0; i < 100; i++ {
+		p, _ := a.Alloc(0, 16)
+		ps = append(ps, p)
+	}
+	f := a.Footprint()
+	if f.HWccBytes != 100*8 {
+		t.Fatalf("HWcc bytes = %d, want 800 (8 per live allocation)", f.HWccBytes)
+	}
+	if f.MetaBytes != 100*16 {
+		t.Fatalf("meta bytes = %d, want 1600 (16 B of non-HWcc header)", f.MetaBytes)
+	}
+	for _, p := range ps {
+		a.Free(0, p)
+	}
+	if got := a.Footprint().HWccBytes; got != 0 {
+		t.Fatalf("HWcc bytes after frees = %d", got)
+	}
+}
+
+func TestAccessHookRefcounts(t *testing.T) {
+	a := New(4 << 20)
+	p, _ := a.Alloc(0, 64)
+	before := a.RefOps()
+	for i := 0; i < 10; i++ {
+		a.AccessHook(1, p)
+	}
+	if got := a.RefOps() - before; got != 20 {
+		t.Fatalf("refcount ops = %d, want 20 (inc+dec per access)", got)
+	}
+	a.Free(0, p)
+}
+
+func TestConcurrentAccessHookOnHotObject(t *testing.T) {
+	a := New(4 << 20)
+	p, _ := a.Alloc(0, 64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				a.AccessHook(tid, p)
+			}
+		}(g)
+	}
+	wg.Wait()
+	// After all paired inc/dec, the count must be back to exactly 1.
+	if rc := a.arena.Load64(p - headerBytes); rc != 1 {
+		t.Fatalf("refcount = %d after balanced hooks", rc)
+	}
+	a.Free(0, p)
+}
+
+func TestDoubleFreeDetected(t *testing.T) {
+	a := New(4 << 20)
+	p, _ := a.Alloc(0, 64)
+	a.Free(0, p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free not detected")
+		}
+	}()
+	a.Free(0, p)
+}

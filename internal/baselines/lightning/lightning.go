@@ -1,0 +1,157 @@
+// Package lightning reimplements the internal cross-process allocator
+// of Lightning (Zhuo et al., "Rearchitecting in-memory object stores
+// for low latency"), which the paper extracts as a baseline. The two
+// properties its results hinge on:
+//
+//   - A single global mutex serializes allocation and deallocation
+//     (unscalable, like boost — §5.2.1).
+//   - Every allocation gets an entry in a large pre-sized object
+//     tracking array used for crash-recovery garbage collection; the
+//     paper excludes Lightning's PSS from Figure 8 because this array
+//     "requires an order of magnitude more memory".
+//
+// Table 1 row: Mem=XP, XP=yes, mmap=no, Fail=B, Rec=B, Str=GC.
+package lightning
+
+import (
+	"sync"
+
+	"cxlalloc/internal/alloc"
+)
+
+const (
+	headerBytes   = 8  // slot index + size class, inline before each block
+	trackingEntry = 64 // bytes per object-tracking-array entry
+)
+
+var classSizes = []int{
+	8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384,
+	32768, 65536, 131072, 262144, 524288,
+}
+
+func classOf(size int) int {
+	for c, s := range classSizes {
+		if s >= size {
+			return c
+		}
+	}
+	return -1
+}
+
+// Allocator is the lightning-like allocator.
+type Allocator struct {
+	arena *alloc.Arena
+
+	mu        sync.Mutex
+	freeLists []uint64 // per class: head offset of intrusive list
+	slots     []int32  // tracking array: slot -> 1 if live (payload elided)
+	slotFree  []int32  // free slot stack
+	liveMeta  uint64
+}
+
+// New creates an allocator over arenaBytes with capacity for maxObjects
+// concurrently live allocations (the size of the tracking array).
+func New(arenaBytes, maxObjects int) *Allocator {
+	a := &Allocator{
+		arena:     alloc.NewArena(arenaBytes, 4096),
+		freeLists: make([]uint64, len(classSizes)),
+		slots:     make([]int32, maxObjects),
+		slotFree:  make([]int32, maxObjects),
+	}
+	for i := range a.slotFree {
+		a.slotFree[i] = int32(maxObjects - 1 - i)
+	}
+	return a
+}
+
+func (a *Allocator) Name() string { return "lightning" }
+
+func (a *Allocator) Alloc(tid int, size int) (alloc.Ptr, error) {
+	if size <= 0 {
+		return 0, alloc.ErrUnsupportedSize
+	}
+	c := classOf(size)
+	if c < 0 {
+		return 0, alloc.ErrUnsupportedSize
+	}
+	blockBytes := uint64(classSizes[c]) + headerBytes
+
+	a.mu.Lock()
+	if len(a.slotFree) == 0 {
+		a.mu.Unlock()
+		return 0, alloc.ErrOutOfMemory
+	}
+	var off uint64
+	if head := a.freeLists[c]; head != 0 {
+		a.freeLists[c] = a.arena.Load64(head)
+		off = head
+	} else {
+		off = a.arena.Bump(blockBytes, 8)
+		if off == 0 {
+			a.mu.Unlock()
+			return 0, alloc.ErrOutOfMemory
+		}
+	}
+	slot := a.slotFree[len(a.slotFree)-1]
+	a.slotFree = a.slotFree[:len(a.slotFree)-1]
+	a.slots[slot] = 1
+	a.liveMeta += headerBytes
+	a.mu.Unlock()
+
+	a.arena.Store64(off, uint64(slot)<<8|uint64(c)|1<<63)
+	a.arena.Touch(off, blockBytes)
+	return off + headerBytes, nil
+}
+
+func (a *Allocator) Free(tid int, p alloc.Ptr) {
+	off := p - headerBytes
+	hdr := a.arena.Load64(off)
+	if hdr&(1<<63) == 0 {
+		panic("lightning: free of unallocated pointer (or double free)")
+	}
+	c := int(hdr & 0xFF)
+	slot := int32(hdr >> 8 & 0xFFFFFFFF)
+	a.arena.Store64(off, 0)
+
+	a.mu.Lock()
+	a.arena.Store64(off, a.freeLists[c])
+	a.freeLists[c] = off
+	a.slots[slot] = 0
+	a.slotFree = append(a.slotFree, slot)
+	a.liveMeta -= headerBytes
+	a.mu.Unlock()
+}
+
+func (a *Allocator) Bytes(tid int, p alloc.Ptr, n int) []byte {
+	return a.arena.Bytes(p, uint64(n))
+}
+
+func (a *Allocator) AccessHook(int, alloc.Ptr) {}
+
+func (a *Allocator) Maintain(int) {}
+
+func (a *Allocator) Footprint() alloc.Footprint {
+	a.mu.Lock()
+	meta := a.liveMeta
+	a.mu.Unlock()
+	return alloc.Footprint{
+		DataBytes: a.arena.TouchedBytes(),
+		MetaBytes: meta,
+		// The entire pre-sized tracking array counts: it is written at
+		// startup and resident for the allocator's lifetime. This is
+		// why the paper's Figure 8 omits Lightning's PSS curve.
+		TrackingBytes: uint64(len(a.slots)) * trackingEntry,
+	}
+}
+
+func (a *Allocator) Properties() alloc.Properties {
+	return alloc.Properties{
+		Name:            "lightning",
+		Memory:          "XP",
+		CrossProcess:    true,
+		Mmap:            false,
+		FailNonBlocking: false,
+		Recovery:        "B",
+		Strategy:        "GC",
+	}
+}

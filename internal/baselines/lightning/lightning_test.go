@@ -1,0 +1,79 @@
+package lightning
+
+import (
+	"testing"
+
+	"cxlalloc/internal/alloc"
+	"cxlalloc/internal/alloc/alloctest"
+)
+
+func TestConformance(t *testing.T) {
+	alloctest.Run(t, func() alloc.Allocator {
+		return New(64<<20, 1<<16)
+	}, alloctest.Options{})
+}
+
+func TestTrackingArrayDominatesPSS(t *testing.T) {
+	// The paper omits Lightning's PSS because the per-allocation
+	// tracking array needs an order of magnitude more memory.
+	a := New(16<<20, 1<<20)
+	p, _ := a.Alloc(0, 64)
+	f := a.Footprint()
+	if f.TrackingBytes != (1<<20)*64 {
+		t.Fatalf("tracking bytes = %d", f.TrackingBytes)
+	}
+	if f.TrackingBytes < 10*(f.DataBytes+f.MetaBytes) {
+		t.Fatalf("tracking (%d) does not dominate data+meta (%d)",
+			f.TrackingBytes, f.DataBytes+f.MetaBytes)
+	}
+	a.Free(0, p)
+}
+
+func TestSlotExhaustion(t *testing.T) {
+	a := New(1<<20, 4)
+	var ps []alloc.Ptr
+	for i := 0; i < 4; i++ {
+		p, err := a.Alloc(0, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps = append(ps, p)
+	}
+	if _, err := a.Alloc(0, 16); err != alloc.ErrOutOfMemory {
+		t.Fatalf("err = %v, want ErrOutOfMemory at slot exhaustion", err)
+	}
+	a.Free(0, ps[0])
+	if _, err := a.Alloc(0, 16); err != nil {
+		t.Fatalf("slot not recycled: %v", err)
+	}
+}
+
+func TestFreeListReuse(t *testing.T) {
+	a := New(1<<20, 1024)
+	p1, _ := a.Alloc(0, 100)
+	a.Free(0, p1)
+	p2, _ := a.Alloc(0, 100)
+	if p1 != p2 {
+		t.Fatalf("freed block not reused: %#x vs %#x", p1, p2)
+	}
+	a.Free(0, p2)
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	a := New(1<<20, 64)
+	p, _ := a.Alloc(0, 64)
+	a.Free(0, p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free not detected")
+		}
+	}()
+	a.Free(0, p)
+}
+
+func TestOversizeRejected(t *testing.T) {
+	a := New(4<<20, 64)
+	if _, err := a.Alloc(0, 1<<20); err != alloc.ErrUnsupportedSize {
+		t.Fatalf("err = %v, want ErrUnsupportedSize", err)
+	}
+}

@@ -1,0 +1,99 @@
+package mim
+
+import (
+	"testing"
+
+	"cxlalloc/internal/alloc"
+	"cxlalloc/internal/alloc/alloctest"
+)
+
+func TestConformance(t *testing.T) {
+	alloctest.Run(t, func() alloc.Allocator {
+		return New(64<<20, 8)
+	}, alloctest.Options{SingleProcessOnly: true})
+}
+
+func TestClassOf(t *testing.T) {
+	for _, c := range []struct{ size, want int }{
+		{1, 8}, {8, 8}, {9, 16}, {100, 128}, {1024, 1024}, {1025, 1536}, {524288, 524288},
+	} {
+		got := classSizes[classOf(c.size)]
+		if got != c.want {
+			t.Errorf("classOf(%d) -> %d, want %d", c.size, got, c.want)
+		}
+	}
+	if classOf(524289) != -1 {
+		t.Error("oversize mapped to a class")
+	}
+}
+
+func TestHugeSpanAllocation(t *testing.T) {
+	a := New(64<<20, 2)
+	p, err := a.Alloc(0, 1<<20) // beyond largest class: dedicated span
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := a.Bytes(0, p, 1<<20)
+	b[0], b[len(b)-1] = 1, 2
+	a.Free(0, p)
+}
+
+func TestRemoteFreeCollection(t *testing.T) {
+	a := New(16<<20, 2)
+	// Thread 0 fills pages; thread 1 frees everything remotely; thread 0
+	// must reuse the collected blocks instead of growing the arena.
+	var ps []alloc.Ptr
+	for i := 0; i < 10000; i++ {
+		p, err := a.Alloc(0, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps = append(ps, p)
+	}
+	used := a.arena.Used()
+	for _, p := range ps {
+		a.Free(1, p)
+	}
+	for i := 0; i < 10000; i++ {
+		if _, err := a.Alloc(0, 64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := a.arena.Used(); got != used {
+		t.Fatalf("arena grew from %d to %d: remote frees not collected", used, got)
+	}
+}
+
+func TestPageFullToAvailTransition(t *testing.T) {
+	a := New(16<<20, 1)
+	// Fill one page of 32 KiB blocks (capacity 2 per 64 KiB span).
+	p1, _ := a.Alloc(0, 32768)
+	p2, _ := a.Alloc(0, 32768)
+	used := a.arena.Used()
+	a.Free(0, p1) // full -> avail
+	p3, err := a.Alloc(0, 32768)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3 != p1 {
+		t.Fatalf("freed block %#x not reused (got %#x)", p1, p3)
+	}
+	if a.arena.Used() != used {
+		t.Fatal("arena grew while a freed block was available")
+	}
+	a.Free(0, p2)
+	a.Free(0, p3)
+}
+
+func TestOutOfMemory(t *testing.T) {
+	a := New(1<<20, 1) // 1 MiB arena
+	var err error
+	for i := 0; i < 1000; i++ {
+		if _, err = a.Alloc(0, 4096); err != nil {
+			break
+		}
+	}
+	if err != alloc.ErrOutOfMemory {
+		t.Fatalf("err = %v, want ErrOutOfMemory", err)
+	}
+}

@@ -1,0 +1,113 @@
+package ralloc
+
+import (
+	"sync/atomic"
+	"time"
+
+	"cxlalloc/internal/alloc"
+)
+
+// Crash recovery (Figure 7). Ralloc's strategy is offline garbage
+// collection: after a failure, either the application blocks the whole
+// heap and runs Collect (a stop-the-world mark-sweep that rebuilds every
+// free list from the live set), or it skips GC and leaks whatever the
+// dead threads held. The paper's Figure 7 measures exactly this
+// trade-off against cxlalloc's non-blocking recovery.
+
+// Collect rebuilds every superblock's free list so that exactly the
+// blocks in live remain allocated. It REQUIRES quiescence: no thread may
+// use the allocator while it runs (this is the blocking the evaluation
+// measures). It returns the wall time spent and the number of bytes
+// swept back.
+func (a *Allocator) Collect(live []alloc.Ptr) (elapsed time.Duration, swept uint64) {
+	start := time.Now()
+	// Bucket live pointers by superblock.
+	liveBySB := make(map[int32]map[uint32]bool)
+	for _, p := range live {
+		sb := a.sbOf(p)
+		m := liveBySB[sb]
+		if m == nil {
+			m = make(map[uint32]bool)
+			liveBySB[sb] = m
+		}
+		c := int(a.dev.HWccLoad(a.lay.sbClassBase + int(sb)))
+		m[uint32((p-a.sbBase(sb))/uint64(classSizes[c]))] = true
+	}
+	// Reset the partial lists and every thread's active superblock.
+	for c := range classSizes {
+		a.dev.HWccStore(a.lay.classHeadW+c, 0)
+	}
+	for t := range a.active {
+		for c := range a.active[t] {
+			a.active[t][c] = -1
+		}
+	}
+	// Rebuild each superblock's free list: free = all blocks not live.
+	for sb := int32(0); int(sb) < a.maxSBs; sb++ {
+		lp := a.links[sb].Load()
+		if lp == nil {
+			continue
+		}
+		links := *lp
+		c := int(a.dev.HWccLoad(a.lay.sbClassBase + int(sb)))
+		capacity := a.capacity(c)
+		liveSet := liveBySB[sb]
+		freeBefore := a.freeCount(sb, links)
+		head := uint32(0)
+		freeAfter := 0
+		for i := capacity - 1; i >= 0; i-- {
+			if liveSet[uint32(i)] {
+				continue
+			}
+			links[i].Store(head)
+			head = uint32(i + 1)
+			freeAfter++
+		}
+		a.dev.HWccStore(a.lay.sbHeadBase+int(sb), pack(0, head))
+		if freeAfter > freeBefore {
+			swept += uint64(freeAfter-freeBefore) * uint64(classSizes[c])
+		}
+		if freeAfter > 0 && freeAfter < capacity {
+			a.pushPartial(0, sb, c)
+		} else if freeAfter == capacity {
+			a.pushPartial(0, sb, c) // fully free superblocks also reusable
+		}
+	}
+	return time.Since(start), swept
+}
+
+// LeakedBytes reports how much memory is unreachable — neither live nor
+// on any free list — without fixing anything (the ralloc-leak variant).
+// Requires quiescence.
+func (a *Allocator) LeakedBytes(live []alloc.Ptr) uint64 {
+	liveCount := make(map[int32]int)
+	for _, p := range live {
+		liveCount[a.sbOf(p)]++
+	}
+	var leaked uint64
+	for sb := int32(0); int(sb) < a.maxSBs; sb++ {
+		lp := a.links[sb].Load()
+		if lp == nil {
+			continue
+		}
+		c := int(a.dev.HWccLoad(a.lay.sbClassBase + int(sb)))
+		capacity := a.capacity(c)
+		free := a.freeCount(sb, *lp)
+		lost := capacity - free - liveCount[sb]
+		if lost > 0 {
+			leaked += uint64(lost) * uint64(classSizes[c])
+		}
+	}
+	return leaked
+}
+
+// freeCount walks a superblock's free list.
+func (a *Allocator) freeCount(sb int32, links []atomic.Uint32) int {
+	n := 0
+	idx := valOf(a.dev.HWccLoad(a.lay.sbHeadBase + int(sb)))
+	for idx != 0 && n <= len(links) {
+		n++
+		idx = links[idx-1].Load()
+	}
+	return n
+}

@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"fmt"
+
+	"cxlalloc/internal/atomicx"
+)
+
+// Ablations for the design choices DESIGN.md calls out.
+
+// RunAblationRecovery measures the cost of partial-failure tolerance
+// (§5.2.1 "Partial failure"): cxlalloc versus cxlalloc-nonrecoverable
+// (recovery-state updates disabled, plain CAS instead of detectable
+// CAS) on the microbenchmarks. The paper reports cxlalloc at 94.7% of
+// nonrecoverable throughput on threadtest and 88.4% on xmalloc.
+func RunAblationRecovery(sc Scale) ([]Row, error) {
+	facs := []Factory{
+		NewCXLFactory(CXLVariant{Name: "cxlalloc", Procs: sc.Procs}, sc.ArenaBytes),
+		NewCXLFactory(CXLVariant{Name: "cxlalloc-nonrecoverable", NonRecoverable: true, Procs: sc.Procs}, sc.ArenaBytes),
+	}
+	var rows []Row
+	for _, shape := range []string{"threadtest-small", "xmalloc-small"} {
+		for _, fac := range facs {
+			for _, threads := range sc.Threads {
+				row, err := runMicro("ablation-recovery", fac, shape, sc, threads, 64)
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, row)
+			}
+		}
+	}
+	return annotateRatios(rows, "cxlalloc-nonrecoverable", "cxlalloc"), nil
+}
+
+// RunAblationOwnerCache measures the §3.2.2 owner-caching optimization:
+// cxlalloc versus a variant that flushes and reloads SWccDesc.owner on
+// every free. The case analysis is what makes the cached read safe; the
+// ablation shows what it buys.
+func RunAblationOwnerCache(sc Scale) ([]Row, error) {
+	facs := []Factory{
+		NewCXLFactory(CXLVariant{Name: "cxlalloc", Mode: atomicx.ModeHWcc, Procs: sc.Procs}, sc.ArenaBytes),
+		NewCXLFactory(CXLVariant{Name: "cxlalloc-fresh-owner", Mode: atomicx.ModeHWcc, AlwaysFresh: true, Procs: sc.Procs}, sc.ArenaBytes),
+	}
+	var rows []Row
+	for _, shape := range []string{"threadtest-small", "xmalloc-small"} {
+		for _, fac := range facs {
+			for _, threads := range sc.Threads {
+				row, err := runMicro("ablation-owner-cache", fac, shape, sc, threads, 64)
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, row)
+			}
+		}
+	}
+	return annotateRatios(rows, "cxlalloc", "cxlalloc-fresh-owner"), nil
+}
+
+// annotateRatios adds "vsBase" percentages relative to the base
+// allocator at the same (workload, threads) cell.
+func annotateRatios(rows []Row, base, subject string) []Row {
+	baseline := map[string]float64{}
+	for _, r := range rows {
+		if r.Allocator == base {
+			baseline[fmt.Sprintf("%s/%d", r.Workload, r.Threads)] = r.Throughput
+		}
+	}
+	for i := range rows {
+		if rows[i].Allocator != subject {
+			continue
+		}
+		b := baseline[fmt.Sprintf("%s/%d", rows[i].Workload, rows[i].Threads)]
+		if b <= 0 {
+			continue
+		}
+		if rows[i].Extra == nil {
+			rows[i].Extra = map[string]string{}
+		}
+		rows[i].Extra["vsBase"] = fmt.Sprintf("%.1f%%", 100*rows[i].Throughput/b)
+	}
+	return rows
+}
+
+// RunAblationHWccAccounting reports the HWcc-memory comparison of
+// §5.2.1: cxlalloc's HWcc bytes as a fraction of total memory and
+// relative to ralloc's, after identical workloads.
+func RunAblationHWccAccounting(sc Scale) ([]Row, error) {
+	rows, err := RunFig9(Scale{
+		Ops: sc.Ops, Keyspace: sc.Keyspace, Buckets: sc.Buckets,
+		ArenaBytes: sc.ArenaBytes, Trials: 1, Threads: []int{sc.Threads[len(sc.Threads)-1]},
+		Procs: sc.Procs, Seed: sc.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []Row
+	rallocHW := map[string]uint64{}
+	for _, r := range rows {
+		if r.Allocator == "ralloc" {
+			rallocHW[r.Workload] = r.HWccBytes
+		}
+	}
+	for _, r := range rows {
+		if r.Allocator != "cxlalloc" && r.Allocator != "ralloc" {
+			continue
+		}
+		r.Experiment = "ablation-hwcc"
+		if r.Extra == nil {
+			r.Extra = map[string]string{}
+		}
+		if r.PSSBytes > 0 {
+			r.Extra["hwccFrac"] = fmt.Sprintf("%.3f%%", 100*float64(r.HWccBytes)/float64(r.PSSBytes))
+		}
+		if r.Allocator == "cxlalloc" && rallocHW[r.Workload] > 0 {
+			r.Extra["vsRalloc"] = fmt.Sprintf("%.1f%%", 100*float64(r.HWccBytes)/float64(rallocHW[r.Workload]))
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

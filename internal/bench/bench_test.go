@@ -1,0 +1,298 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tinyScale keeps harness tests fast.
+func tinyScale() Scale {
+	return Scale{
+		Ops:         4_000,
+		Keyspace:    2_000,
+		InitialLoad: 1_000,
+		Buckets:     1 << 10,
+		ArenaBytes:  256 << 20,
+		Trials:      1,
+		Threads:     []int{2},
+		Procs:       2,
+		Seed:        7,
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	rows, err := RunTable1(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("table1 rows = %d, want 6 allocators", len(rows))
+	}
+	byName := map[string]Row{}
+	for _, r := range rows {
+		byName[r.Allocator] = r
+	}
+	// The cxlalloc row must match the paper's Table 1.
+	cx := byName["cxlalloc"]
+	if cx.Extra["xp"] != "yes" || cx.Extra["mmap"] != "yes" ||
+		cx.Extra["fail"] != "NB" || cx.Extra["rec"] != "NB" || cx.Extra["str"] != "App" {
+		t.Fatalf("cxlalloc row = %v", cx.Extra)
+	}
+	if byName["boost"].Extra["fail"] != "B" {
+		t.Fatal("boost must block on failure")
+	}
+	out := FormatTable1(rows)
+	if !strings.Contains(out, "cxlalloc") || !strings.Contains(out, "lightning") {
+		t.Fatalf("table missing rows:\n%s", out)
+	}
+}
+
+func TestRunTable2(t *testing.T) {
+	rows, err := RunTable2(tinyScale(), 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("table2 rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Extra["ins%"] == "" || r.Extra["dist"] == "" {
+			t.Fatalf("incomplete row: %+v", r)
+		}
+	}
+	_ = FormatTable2(rows)
+}
+
+func TestRunFig8SingleWorkload(t *testing.T) {
+	sc := tinyScale()
+	rows, err := RunFig8(sc, []string{"YCSB-A"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 { // 7 allocators x 1 thread count
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Failed == "" && r.Throughput <= 0 {
+			t.Fatalf("no throughput for %s", r.Allocator)
+		}
+		if r.Allocator == "cxlalloc" && r.HWccBytes == 0 {
+			t.Fatal("cxlalloc HWcc bytes missing")
+		}
+	}
+}
+
+func TestRunFig8UnsupportedSizeRecorded(t *testing.T) {
+	sc := tinyScale()
+	sc.Ops = 2_000
+	rows, err := RunFig8(sc, []string{"MC-12"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range rows {
+		if r.Allocator == "cxl-shm" {
+			found = true
+			if r.Failed == "" {
+				t.Fatal("cxl-shm must fail on MC-12 (values > 1 KiB)")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("cxl-shm row missing")
+	}
+}
+
+func TestRunFig9(t *testing.T) {
+	rows, err := RunFig9(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2*7 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+}
+
+func TestRunFig10(t *testing.T) {
+	sc := tinyScale()
+	sc.Ops = 512
+	rows, err := RunFig10(sc, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Failed == "" && r.Throughput <= 0 {
+			t.Fatalf("huge bench produced no throughput: %+v", r)
+		}
+	}
+}
+
+func TestRunFig11(t *testing.T) {
+	rows, err := RunFig11([]int{1, 2}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3*2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var hw1, sw1 string
+	for _, r := range rows {
+		if r.Extra["p50"] == "" {
+			t.Fatalf("missing percentiles: %+v", r)
+		}
+		if r.Threads == 1 {
+			if r.Workload == "hw_cas" {
+				hw1 = r.Extra["p50"]
+			}
+			if r.Workload == "sw_cas" {
+				sw1 = r.Extra["p50"]
+			}
+		}
+	}
+	if hw1 == "" || sw1 == "" {
+		t.Fatal("missing impl rows")
+	}
+	_ = FormatFig11(rows)
+}
+
+func TestRunFig12(t *testing.T) {
+	sc := tinyScale()
+	sc.Ops = 2_000
+	rows, err := RunFig12(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2*6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Structural claim: mcas variants are slower than their dram twins.
+	tput := map[string]float64{}
+	for _, r := range rows {
+		if r.Workload == "threadtest-small" {
+			tput[r.Allocator] = r.Throughput
+		}
+	}
+	if tput["cxlalloc-mcas"] >= tput["cxlalloc"] {
+		t.Fatalf("cxlalloc-mcas (%v) not slower than dram (%v)", tput["cxlalloc-mcas"], tput["cxlalloc"])
+	}
+	if tput["ralloc-mcas"] >= tput["ralloc"] {
+		t.Fatalf("ralloc-mcas (%v) not slower than dram (%v)", tput["ralloc-mcas"], tput["ralloc"])
+	}
+}
+
+func TestRunFig7(t *testing.T) {
+	sc := tinyScale()
+	rows, err := RunFig7(sc, 2_000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2*3*3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.ElapsedSec <= 0 {
+			t.Fatalf("no elapsed time: %+v", r)
+		}
+		// cxlalloc never leaks; ralloc-leak must report a leak when
+		// crashes occurred.
+		if r.Allocator == "cxlalloc" && strings.Contains(r.Workload, "crashes=2") {
+			if r.Extra["leak"] != "0KiB" {
+				t.Fatalf("cxlalloc leaked: %+v", r)
+			}
+		}
+		if r.Allocator == "ralloc-leak" && strings.Contains(r.Workload, "crashes=2") {
+			if r.Extra["leak"] == "" || r.Extra["leak"] == "0.0KiB" {
+				t.Fatalf("ralloc-leak reported no leak under crashes: %+v", r)
+			}
+		}
+		if r.Allocator == "ralloc-gc" && strings.Contains(r.Workload, "crashes=2") {
+			if r.Extra["gc"] == "" {
+				t.Fatalf("ralloc-gc reported no GC time: %+v", r)
+			}
+		}
+	}
+	_ = FormatFig7(rows)
+}
+
+func TestAblationRecovery(t *testing.T) {
+	rows, err := RunAblationRecovery(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawRatio := false
+	for _, r := range rows {
+		if r.Allocator == "cxlalloc" && r.Extra["vsBase"] != "" {
+			sawRatio = true
+		}
+	}
+	if !sawRatio {
+		t.Fatal("no vsBase annotation")
+	}
+}
+
+func TestAblationHWcc(t *testing.T) {
+	sc := tinyScale()
+	rows, err := RunAblationHWccAccounting(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// cxlalloc must use far less HWcc memory than ralloc.
+	for _, r := range rows {
+		if r.Allocator == "cxlalloc" && r.Workload == "threadtest-small" {
+			if r.Extra["vsRalloc"] == "" {
+				t.Fatalf("missing vsRalloc: %+v", r)
+			}
+			pct, err := strconv.ParseFloat(strings.TrimSuffix(r.Extra["vsRalloc"], "%"), 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pct >= 100 {
+				t.Fatalf("cxlalloc HWcc (%v%%) not below ralloc's", pct)
+			}
+		}
+	}
+}
+
+func TestNDJSONOutput(t *testing.T) {
+	rows := []Row{{Experiment: "x", Workload: "w", Allocator: "a", Threads: 1, Throughput: 2.5}}
+	var buf bytes.Buffer
+	if err := WriteNDJSON(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	var back Row
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Allocator != "a" || back.Throughput != 2.5 {
+		t.Fatalf("round trip = %+v", back)
+	}
+	var tab bytes.Buffer
+	PrintTable(&tab, rows)
+	if !strings.Contains(tab.String(), "2.5") {
+		t.Fatalf("table output missing data:\n%s", tab.String())
+	}
+}
+
+func TestAblationDisown(t *testing.T) {
+	rows, err := RunAblationDisown(tinyScale(), 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	slabs := map[string]string{}
+	for _, r := range rows {
+		slabs[r.Allocator] = r.Extra["heapSlabs"]
+	}
+	with, _ := strconv.Atoi(slabs["cxlalloc"])
+	without, _ := strconv.Atoi(slabs["cxlalloc-no-disown"])
+	// Disown keeps the heap flat; the ablation leaks roughly one slab
+	// per round of mixed frees.
+	if without <= with*2 {
+		t.Fatalf("no-disown heap (%d slabs) should dwarf disown heap (%d slabs)", without, with)
+	}
+}

@@ -1,0 +1,35 @@
+package bench
+
+// RunFig10 regenerates Figure 10: the huge-allocation microbenchmarks.
+// cxlalloc's cross-process huge allocations are a novel feature — the
+// paper notes "there are no baselines because every other allocator
+// crashes or does not complete", so the sweep is over process counts
+// for cxlalloc only. Objects are mapping-backed (the paper uses 1 GiB;
+// the simulation scales the size to its region geometry) and xmalloc
+// exercises cross-process faults and hazard-offset reclamation.
+func RunFig10(sc Scale, procCounts []int) ([]Row, error) {
+	if len(procCounts) == 0 {
+		procCounts = []int{1, 2, 4}
+	}
+	// One object spans multiple reservation regions, like the paper's
+	// 1 GiB objects spanning the huge heap's granules.
+	objSize := 24 << 20
+	var rows []Row
+	for _, shape := range []string{"threadtest-huge", "xmalloc-huge"} {
+		for _, procs := range procCounts {
+			fac := NewCXLFactory(CXLVariant{Name: "cxlalloc", Procs: procs}, sc.ArenaBytes)
+			for _, threads := range sc.Threads {
+				if threads < procs {
+					continue
+				}
+				row, err := runMicro("fig10", fac, shape, sc, threads, objSize)
+				if err != nil {
+					return nil, err
+				}
+				row.Procs = procs
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cxlalloc/internal/workload"
+)
+
+// RunTable1 regenerates Table 1: the property matrix of every allocator
+// in the evaluation, reported by the implementations themselves so the
+// table cannot drift from the code.
+func RunTable1(sc Scale) ([]Row, error) {
+	var rows []Row
+	for _, fac := range Factories(sc) {
+		if fac.Name == "cxlalloc-nonrecoverable" {
+			continue // configuration variant, not a Table 1 row
+		}
+		inst, err := fac.New(1)
+		if err != nil {
+			return nil, err
+		}
+		pr := inst.A.Properties()
+		yn := func(b bool) string {
+			if b {
+				return "yes"
+			}
+			return "no"
+		}
+		fb := "B"
+		if pr.FailNonBlocking {
+			fb = "NB"
+		}
+		rows = append(rows, Row{
+			Experiment: "table1",
+			Workload:   "properties",
+			Allocator:  pr.Name,
+			Extra: map[string]string{
+				"mem":  pr.Memory,
+				"xp":   yn(pr.CrossProcess),
+				"mmap": yn(pr.Mmap),
+				"fail": fb,
+				"rec":  pr.Recovery,
+				"str":  pr.Strategy,
+			},
+		})
+	}
+	return rows, nil
+}
+
+// FormatTable1 renders the property matrix like the paper's Table 1.
+func FormatTable1(rows []Row) string {
+	var b strings.Builder
+	b.WriteString("\n== table1 :: allocator properties ==\n")
+	fmt.Fprintf(&b, "%-14s %-10s %-5s %-5s %-5s %-5s %-5s\n",
+		"Allocator", "Mem.", "XP", "mmap", "Fail", "Rec.", "Str.")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %-10s %-5s %-5s %-5s %-5s %-5s\n",
+			r.Allocator, r.Extra["mem"], r.Extra["xp"], r.Extra["mmap"],
+			r.Extra["fail"], r.Extra["rec"], r.Extra["str"])
+	}
+	return b.String()
+}
+
+// RunTable2 regenerates Table 2: summary statistics of every workload,
+// measured from the generators themselves over a sample.
+func RunTable2(sc Scale, sample int) ([]Row, error) {
+	if sample == 0 {
+		sample = 100_000
+	}
+	var rows []Row
+	for _, spec := range workload.Specs(sc.Keyspace, sc.InitialLoad) {
+		g := workload.NewKVGen(spec, sc.Seed, 0, 1)
+		ins, del := 0, 0
+		keyMin, keyMax := 1<<30, 0
+		valMin, valMax := 1<<30, 0
+		counts := map[uint64]int{}
+		for i := 0; i < sample; i++ {
+			op := g.Next()
+			if n := len(op.Key); n < keyMin {
+				keyMin = n
+			}
+			if n := len(op.Key); n > keyMax {
+				keyMax = n
+			}
+			switch op.Kind {
+			case workload.OpInsert:
+				ins++
+				if n := len(op.Val); n < valMin {
+					valMin = n
+				}
+				if n := len(op.Val); n > valMax {
+					valMax = n
+				}
+			case workload.OpDelete:
+				del++
+			}
+			counts[op.KeyID]++
+		}
+		// Skew indicator: fraction of draws covered by the top 1% keys.
+		freqs := make([]int, 0, len(counts))
+		for _, c := range counts {
+			freqs = append(freqs, c)
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(freqs)))
+		top := len(freqs) / 100
+		if top == 0 {
+			top = 1
+		}
+		topSum := 0
+		for _, c := range freqs[:top] {
+			topSum += c
+		}
+		dist := "Uniform"
+		if spec.KeyDist == workload.Zipfian {
+			dist = "Skew"
+		}
+		rows = append(rows, Row{
+			Experiment: "table2",
+			Workload:   spec.Name,
+			Allocator:  "-",
+			Ops:        sample,
+			Extra: map[string]string{
+				"ins%":   fmt.Sprintf("%.1f", 100*float64(ins)/float64(sample)),
+				"del%":   fmt.Sprintf("%.1f", 100*float64(del)/float64(sample)),
+				"dist":   dist,
+				"key":    fmt.Sprintf("%d-%dB", keyMin, keyMax),
+				"val":    fmt.Sprintf("%d-%dB", valMin, valMax),
+				"top1%%": fmt.Sprintf("%.1f%%", 100*float64(topSum)/float64(sample)),
+			},
+		})
+	}
+	return rows, nil
+}
+
+// FormatTable2 renders the measured workload statistics.
+func FormatTable2(rows []Row) string {
+	var b strings.Builder
+	b.WriteString("\n== table2 :: workload summary statistics (measured from generators) ==\n")
+	fmt.Fprintf(&b, "%-10s %8s %8s %-8s %-12s %-14s %-10s\n",
+		"Workload", "Ins.%", "Del.%", "Distr.", "Key Size", "Value Size", "Top1%Keys")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %8s %8s %-8s %-12s %-14s %-10s\n",
+			r.Workload, r.Extra["ins%"], r.Extra["del%"], r.Extra["dist"],
+			r.Extra["key"], r.Extra["val"], r.Extra["top1%%"])
+	}
+	return b.String()
+}

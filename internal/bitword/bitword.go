@@ -1,0 +1,76 @@
+// Package bitword implements bitset operations over []uint64 words.
+//
+// cxlalloc's per-slab free bitsets (SWccDesc.free in the paper's Figure 3)
+// live in simulated SWcc device memory as raw 64-bit words, accessed
+// through a software-coherence cache. This package contains the pure
+// word-level logic — find-first-set, set, clear, population count — so it
+// can be property-tested independently of the memory simulator.
+package bitword
+
+import "math/bits"
+
+// WordsFor returns the number of 64-bit words needed to hold n bits.
+func WordsFor(n int) int {
+	return (n + 63) / 64
+}
+
+// Get reports whether bit i is set in words.
+func Get(words []uint64, i int) bool {
+	return words[i/64]&(1<<(uint(i)%64)) != 0
+}
+
+// Set sets bit i in words.
+func Set(words []uint64, i int) {
+	words[i/64] |= 1 << (uint(i) % 64)
+}
+
+// Clear clears bit i in words.
+func Clear(words []uint64, i int) {
+	words[i/64] &^= 1 << (uint(i) % 64)
+}
+
+// FirstSet returns the index of the lowest set bit among the first n bits
+// of words, or -1 if none is set.
+func FirstSet(words []uint64, n int) int {
+	full := n / 64
+	for w := 0; w < full; w++ {
+		if words[w] != 0 {
+			return w*64 + bits.TrailingZeros64(words[w])
+		}
+	}
+	if rem := n % 64; rem != 0 {
+		mask := (uint64(1) << uint(rem)) - 1
+		if v := words[full] & mask; v != 0 {
+			return full*64 + bits.TrailingZeros64(v)
+		}
+	}
+	return -1
+}
+
+// Count returns the number of set bits among the first n bits of words.
+func Count(words []uint64, n int) int {
+	full := n / 64
+	c := 0
+	for w := 0; w < full; w++ {
+		c += bits.OnesCount64(words[w])
+	}
+	if rem := n % 64; rem != 0 {
+		mask := (uint64(1) << uint(rem)) - 1
+		c += bits.OnesCount64(words[full] & mask)
+	}
+	return c
+}
+
+// FillMask returns the word value for word index w of a bitset whose
+// first n bits are all set: all-ones for fully covered words, a partial
+// mask for the boundary word, zero past the end.
+func FillMask(n, w int) uint64 {
+	lo := w * 64
+	if n <= lo {
+		return 0
+	}
+	if n >= lo+64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(n-lo)) - 1
+}

@@ -1,0 +1,155 @@
+package bitword
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cxlalloc/internal/xrand"
+)
+
+func TestWordsFor(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 0}, {1, 1}, {63, 1}, {64, 1}, {65, 2}, {128, 2}, {129, 3}, {4096, 64},
+	}
+	for _, c := range cases {
+		if got := WordsFor(c.n); got != c.want {
+			t.Errorf("WordsFor(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestSetClearGet(t *testing.T) {
+	const n = 200
+	words := make([]uint64, WordsFor(n))
+	for i := 0; i < n; i++ {
+		if Get(words, i) {
+			t.Fatalf("bit %d set in zeroed bitset", i)
+		}
+	}
+	for i := 0; i < n; i += 3 {
+		Set(words, i)
+	}
+	for i := 0; i < n; i++ {
+		want := i%3 == 0
+		if Get(words, i) != want {
+			t.Fatalf("bit %d: got %v, want %v", i, Get(words, i), want)
+		}
+	}
+	for i := 0; i < n; i += 6 {
+		Clear(words, i)
+	}
+	for i := 0; i < n; i++ {
+		want := i%3 == 0 && i%6 != 0
+		if Get(words, i) != want {
+			t.Fatalf("after clear, bit %d: got %v, want %v", i, Get(words, i), want)
+		}
+	}
+}
+
+func TestFirstSetBoundaries(t *testing.T) {
+	words := make([]uint64, 2)
+	if got := FirstSet(words, 128); got != -1 {
+		t.Fatalf("FirstSet of empty = %d, want -1", got)
+	}
+	Set(words, 127)
+	if got := FirstSet(words, 128); got != 127 {
+		t.Fatalf("FirstSet = %d, want 127", got)
+	}
+	// Bit outside the logical length must be ignored.
+	if got := FirstSet(words, 127); got != -1 {
+		t.Fatalf("FirstSet with n=127 = %d, want -1 (bit 127 out of range)", got)
+	}
+	Set(words, 64)
+	if got := FirstSet(words, 128); got != 64 {
+		t.Fatalf("FirstSet = %d, want 64", got)
+	}
+	Set(words, 3)
+	if got := FirstSet(words, 128); got != 3 {
+		t.Fatalf("FirstSet = %d, want 3", got)
+	}
+}
+
+func TestCountPartialWord(t *testing.T) {
+	words := make([]uint64, 2)
+	for i := 0; i < 128; i++ {
+		Set(words, i)
+	}
+	for n := 0; n <= 128; n++ {
+		if got := Count(words, n); got != n {
+			t.Fatalf("Count(full, %d) = %d, want %d", n, got, n)
+		}
+	}
+}
+
+func TestFillMask(t *testing.T) {
+	// A bitset initialized word-by-word from FillMask must have exactly
+	// its first n bits set.
+	for _, n := range []int{0, 1, 7, 63, 64, 65, 100, 128, 130, 511, 512} {
+		nw := WordsFor(n)
+		words := make([]uint64, nw+1)
+		for w := range words {
+			words[w] = FillMask(n, w)
+		}
+		if got := Count(words, len(words)*64); got != n {
+			t.Fatalf("FillMask n=%d: popcount %d", n, got)
+		}
+		for i := 0; i < len(words)*64; i++ {
+			if Get(words, i) != (i < n) {
+				t.Fatalf("FillMask n=%d: bit %d = %v", n, i, Get(words, i))
+			}
+		}
+	}
+}
+
+// Property: FirstSet agrees with a naive linear scan, and Count agrees
+// with counting Get over all positions, for random bit patterns.
+func TestQuickFirstSetCount(t *testing.T) {
+	f := func(seed uint64, nBits uint16) bool {
+		n := int(nBits%512) + 1
+		words := make([]uint64, WordsFor(n))
+		rng := xrand.New(seed)
+		for i := 0; i < n; i++ {
+			if rng.Uint64()%4 == 0 {
+				Set(words, i)
+			}
+		}
+		wantFirst := -1
+		wantCount := 0
+		for i := 0; i < n; i++ {
+			if Get(words, i) {
+				wantCount++
+				if wantFirst == -1 {
+					wantFirst = i
+				}
+			}
+		}
+		return FirstSet(words, n) == wantFirst && Count(words, n) == wantCount
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: set-then-clear round-trips to the original bitset.
+func TestQuickSetClearRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		const n = 256
+		words := make([]uint64, WordsFor(n))
+		rng := xrand.New(seed)
+		var idx []int
+		for i := 0; i < 50; i++ {
+			j := rng.Intn(n)
+			if !Get(words, j) {
+				Set(words, j)
+				idx = append(idx, j)
+			}
+		}
+		for _, j := range idx {
+			Clear(words, j)
+		}
+		return Count(words, n) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

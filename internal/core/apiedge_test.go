@@ -1,0 +1,122 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"cxlalloc/internal/memsim"
+)
+
+// API edge cases: wild pointers, boundary sizes, misuse.
+
+func expectPanic(t *testing.T, fragment string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic containing %q", fragment)
+		}
+		msg := ""
+		switch v := r.(type) {
+		case string:
+			msg = v
+		case error:
+			msg = v.Error()
+		default:
+			t.Fatalf("unexpected panic type %T: %v", r, r)
+		}
+		if !strings.Contains(msg, fragment) {
+			t.Fatalf("panic %q does not contain %q", msg, fragment)
+		}
+	}()
+	f()
+}
+
+func TestFreeOutsideHeapPanics(t *testing.T) {
+	e := newEnv(t, testConfig(), 1, 1)
+	expectPanic(t, "outside heap", func() { e.h.Free(0, 0) })
+	expectPanic(t, "outside heap", func() { e.h.Free(0, e.h.lay.DataBytes+100) })
+}
+
+func TestUsableSizeOutsideHeapPanics(t *testing.T) {
+	e := newEnv(t, testConfig(), 1, 1)
+	expectPanic(t, "outside heap", func() { e.h.UsableSize(0, 0) })
+}
+
+func TestFreeUnallocatedSmallPanics(t *testing.T) {
+	cfg := testConfig()
+	cfg.CheckInvariants = false
+	e := newEnv(t, cfg, 1, 1)
+	p := e.alloc(0, 64) // brings slab 0 into existence
+	// A never-allocated block in the same slab: the bit is still set
+	// (free), so freeing it is a double free.
+	expectPanic(t, "double free", func() { e.h.Free(0, p+64) })
+}
+
+func TestBoundarySizes(t *testing.T) {
+	e := newEnv(t, testConfig(), 1, 1)
+	for _, size := range []int{1, smallMin, smallMax - 1, smallMax, smallMax + 1,
+		largeMax - 1, largeMax, largeMax + 1} {
+		p, err := e.h.Alloc(0, size)
+		if err != nil {
+			t.Fatalf("Alloc(%d): %v", size, err)
+		}
+		if got := e.h.UsableSize(0, p); got < size {
+			t.Fatalf("UsableSize(%d) = %d", size, got)
+		}
+		// The boundary classifications must route to the right heap.
+		switch {
+		case size <= smallMax:
+			if p >= e.h.lay.LargeDataOff {
+				t.Fatalf("size %d not in small heap (p=%#x)", size, p)
+			}
+		case size <= largeMax:
+			if p < e.h.lay.LargeDataOff || p >= e.h.lay.HugeDataOff {
+				t.Fatalf("size %d not in large heap (p=%#x)", size, p)
+			}
+		default:
+			if p < e.h.lay.HugeDataOff {
+				t.Fatalf("size %d not in huge heap (p=%#x)", size, p)
+			}
+		}
+		e.h.Free(0, p)
+	}
+	e.h.Maintain(0)
+	e.checkAll(0)
+}
+
+func TestDeadThreadUsePanics(t *testing.T) {
+	e, _ := crashEnv(t)
+	e.h.MarkCrashed(0)
+	expectPanic(t, "not attached and alive", func() { e.h.Alloc(0, 64) })
+	// Recovery restores it.
+	if _, err := e.h.RecoverThread(0, e.spaces[0]); err != nil {
+		t.Fatal(err)
+	}
+	p := e.alloc(0, 64)
+	e.h.Free(0, p)
+}
+
+func TestHeapTooSmallDeviceRejected(t *testing.T) {
+	cfg := testConfig()
+	dc, err := DeviceFor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc.DataBytes /= 2
+	if _, err := NewHeap(cfg, memsim.NewDevice(dc)); err == nil {
+		t.Fatal("undersized device accepted")
+	}
+}
+
+func TestBytesZeroAndFullSpan(t *testing.T) {
+	e := newEnv(t, testConfig(), 1, 1)
+	p := e.alloc(0, 4096)
+	if b := e.h.Bytes(0, p, 0); b != nil {
+		t.Fatal("zero-length Bytes returned data")
+	}
+	if b := e.h.Bytes(0, p, 4096); len(b) != 4096 {
+		t.Fatalf("full span = %d", len(b))
+	}
+	e.h.Free(0, p)
+}

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"fmt"
+
+	"cxlalloc/internal/atomicx"
+	"cxlalloc/internal/interval"
+	"cxlalloc/internal/memsim"
+	"cxlalloc/internal/nmp"
+	"cxlalloc/internal/vas"
+)
+
+// Heap is one cxlalloc heap living in a shared device. Every simulated
+// process and thread in the pod operates on the same Heap value (it is
+// the in-memory twin of the on-device metadata; all shared state lives
+// in the device, so the Heap itself carries only configuration and
+// volatile per-thread state).
+type Heap struct {
+	cfg  Config
+	lay  Layout
+	dev  *memsim.Device
+	hw   *atomicx.HW
+	dcas *atomicx.DCAS
+	unit *nmp.Unit
+
+	small *slabHeap
+	large *slabHeap
+
+	// coherent mirrors the device's Coherent flag: flush and fence are
+	// semantic no-ops, so hot paths skip the calls entirely.
+	coherent bool
+
+	threads []threadState
+}
+
+// threadState is the volatile (non-device) state of one thread slot.
+// Everything here is either reconstructible on recovery (hugeFree,
+// descFree are rebuilt by scanning device metadata, §3.4.2) or owned
+// exclusively by the thread (cache, version counter).
+type threadState struct {
+	attached bool
+	alive    bool
+	cache    *memsim.Cache
+	space    *vas.Space
+	ver      uint16
+
+	hugeFree interval.Set // free virtual address ranges owned by this thread
+	descFree []int        // free huge-descriptor slots
+}
+
+// NewHeap creates (or attaches to) a heap on dev. Because zeroed memory
+// is a valid heap, creating a Heap performs no device writes: any number
+// of processes may construct Heaps over the same device concurrently
+// with no coordination (paper §4, "Heap initialization").
+func NewHeap(cfg Config, dev *memsim.Device) (*Heap, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	lay := computeLayout(&cfg)
+	dc := dev.Config()
+	if dc.HWccWords < lay.HWccWords || dc.SWccWords < lay.SWccWords ||
+		uint64(dc.DataBytes) < lay.DataBytes {
+		return nil, fmt.Errorf("core: device too small for layout (need hwcc=%d swcc=%d data=%d)",
+			lay.HWccWords, lay.SWccWords, lay.DataBytes)
+	}
+	h := &Heap{
+		cfg:      cfg,
+		lay:      lay,
+		dev:      dev,
+		coherent: dc.Coherent,
+		threads:  make([]threadState, cfg.NumThreads),
+	}
+	if cfg.Mode == atomicx.ModeMCAS {
+		h.unit = nmp.New(dev, cfg.Latency)
+	}
+	h.hw = atomicx.New(dev, cfg.Mode, h.unit, cfg.Latency)
+	h.dcas = atomicx.NewDCAS(h.hw, lay.HelpBase, cfg.NonRecoverable)
+
+	h.small = &slabHeap{
+		h:           h,
+		name:        "small",
+		slabSize:    cfg.SmallSlabSize,
+		classes:     smallClassSizes,
+		maxSlabs:    cfg.MaxSmallSlabs,
+		lenW:        lay.SmallLenW,
+		freeW:       lay.SmallFreeW,
+		hwBase:      lay.SmallHWBase,
+		localBase:   lay.SmallLocalBase,
+		localStride: lay.SmallLocalStride,
+		descBase:    lay.SmallDescBase,
+		descStride:  lay.SmallDescStride,
+		bitsetWords: lay.SmallBitsetWords,
+		dataOff:     lay.SmallDataOff,
+		opBit:       0,
+	}
+	h.large = &slabHeap{
+		h:           h,
+		name:        "large",
+		slabSize:    cfg.LargeSlabSize,
+		classes:     largeClassSizes,
+		maxSlabs:    cfg.MaxLargeSlabs,
+		lenW:        lay.LargeLenW,
+		freeW:       lay.LargeFreeW,
+		hwBase:      lay.LargeHWBase,
+		localBase:   lay.LargeLocalBase,
+		localStride: lay.LargeLocalStride,
+		descBase:    lay.LargeDescBase,
+		descStride:  lay.LargeDescStride,
+		bitsetWords: lay.LargeBitsetWords,
+		dataOff:     lay.LargeDataOff,
+		opBit:       opLargeBit,
+	}
+	return h, nil
+}
+
+// DeviceFor returns a device config sized exactly for cfg. The caller
+// creates the device once per pod and shares it among all processes.
+func DeviceFor(cfg Config) (memsim.Config, error) {
+	if err := cfg.validate(); err != nil {
+		return memsim.Config{}, err
+	}
+	lay := computeLayout(&cfg)
+	return memsim.Config{
+		HWccWords: lay.HWccWords,
+		SWccWords: lay.SWccWords,
+		DataBytes: int(lay.DataBytes),
+		Coherent:  cfg.Mode == atomicx.ModeDRAM,
+	}, nil
+}
+
+// Config returns the heap's configuration.
+func (h *Heap) Config() Config { return h.cfg }
+
+// Layout returns the heap's computed address map.
+func (h *Heap) Layout() Layout { return h.lay }
+
+// Device returns the underlying device.
+func (h *Heap) Device() *memsim.Device { return h.dev }
+
+// NMPStats returns the NMP unit's counters (zero when not in mCAS mode).
+func (h *Heap) NMPStats() nmp.Stats {
+	if h.unit == nil {
+		return nmp.Stats{}
+	}
+	return h.unit.Stats()
+}
+
+// AttachThread binds thread slot tid to a process address space. The
+// thread starts with a cold cache. It is the caller's responsibility
+// that each live thread slot has exactly one user (the paper pins
+// threads to cores).
+func (h *Heap) AttachThread(tid int, space *vas.Space) error {
+	if tid < 0 || tid >= h.cfg.NumThreads {
+		return fmt.Errorf("core: thread ID %d out of range", tid)
+	}
+	ts := &h.threads[tid]
+	if ts.attached && ts.alive {
+		return fmt.Errorf("core: thread slot %d already attached", tid)
+	}
+	*ts = threadState{
+		attached: true,
+		alive:    true,
+		cache:    h.dev.NewCache(),
+		space:    space,
+	}
+	return nil
+}
+
+// ThreadSpace returns the address space thread tid is bound to.
+func (h *Heap) ThreadSpace(tid int) *vas.Space { return h.threads[tid].space }
+
+// Alive reports whether thread slot tid is attached and not crashed.
+func (h *Heap) Alive(tid int) bool {
+	return h.threads[tid].attached && h.threads[tid].alive
+}
+
+// MarkCrashed records that thread tid crashed. Its CPU core survives, so
+// dirty cache lines eventually drain to memory (the paper's partial
+// failure model: a thread or process dies, the host and device do not).
+// Shared state is left exactly as the crash left it.
+func (h *Heap) MarkCrashed(tid int) {
+	ts := &h.threads[tid]
+	ts.alive = false
+	ts.cache.WritebackAll()
+}
+
+// ts returns the thread state, panicking on misuse (a dead or detached
+// thread calling into the allocator is a harness bug, not a runtime
+// condition to tolerate).
+func (h *Heap) ts(tid int) *threadState {
+	ts := &h.threads[tid]
+	if !ts.attached || !ts.alive {
+		panic(fmt.Sprintf("core: thread %d is not attached and alive", tid))
+	}
+	return ts
+}
+
+func (ts *threadState) nextVer() uint16 {
+	ts.ver++
+	return ts.ver
+}
+
+// Alloc allocates size bytes for thread tid and returns its offset
+// pointer. Allocation is lock-free: a crashed thread never blocks a live
+// one (§3.4.1).
+func (h *Heap) Alloc(tid int, size int) (Ptr, error) {
+	if size <= 0 {
+		return 0, fmt.Errorf("core: Alloc size %d must be positive", size)
+	}
+	ts := h.ts(tid)
+	var p Ptr
+	var err error
+	switch {
+	case size <= smallMax:
+		p, err = h.small.alloc(ts, tid, smallClassOf(size))
+	case size <= largeMax:
+		p, err = h.large.alloc(ts, tid, largeClassOf(size))
+	default:
+		p, err = h.hugeAlloc(ts, tid, uint64(size))
+	}
+	h.maybeCheck(tid)
+	return p, err
+}
+
+// Free releases the allocation at p. Any attached thread in any process
+// may free any pointer (remote frees, §3.2.1).
+func (h *Heap) Free(tid int, p Ptr) {
+	ts := h.ts(tid)
+	switch {
+	case p >= h.lay.SmallDataOff && p < h.lay.LargeDataOff:
+		h.small.free(ts, tid, p)
+	case p >= h.lay.LargeDataOff && p < h.lay.HugeDataOff:
+		h.large.free(ts, tid, p)
+	case p >= h.lay.HugeDataOff && p < h.lay.DataBytes:
+		h.hugeFreePtr(ts, tid, p)
+	default:
+		panic(fmt.Sprintf("core: Free(%#x): pointer outside heap", p))
+	}
+	h.maybeCheck(tid)
+}
+
+// UsableSize returns the number of bytes usable at allocation p (the
+// block size of its class, or the page-rounded huge size).
+func (h *Heap) UsableSize(tid int, p Ptr) int {
+	ts := h.ts(tid)
+	switch {
+	case p >= h.lay.SmallDataOff && p < h.lay.LargeDataOff:
+		return h.small.usableSize(ts, p)
+	case p >= h.lay.LargeDataOff && p < h.lay.HugeDataOff:
+		return h.large.usableSize(ts, p)
+	case p >= h.lay.HugeDataOff && p < h.lay.DataBytes:
+		return h.hugeUsableSize(ts, tid, p)
+	default:
+		panic(fmt.Sprintf("core: UsableSize(%#x): pointer outside heap", p))
+	}
+}
+
+// Bytes resolves p's allocation bytes in tid's process, installing
+// mappings on demand via the fault handler (PC-T). n must not exceed the
+// allocation size.
+func (h *Heap) Bytes(tid int, p Ptr, n int) []byte {
+	ts := h.ts(tid)
+	return ts.space.Resolve(tid, p, uint64(n))
+}
+
+// crashPoint fires tid's injected crash, if armed. Call sites pass
+// constant strings; dynamic names go through slabHeap.cp.
+func (h *Heap) crashPoint(tid int, name string) {
+	if h.cfg.Crash == nil {
+		return
+	}
+	h.cfg.Crash.Point(tid, name)
+}

@@ -1,0 +1,201 @@
+package core
+
+import "fmt"
+
+// Runtime invariant checks (§5.1): "SWccDesc.owner is null when popping
+// a slab from the global free list, all slabs in thread-local sized free
+// lists are non-full, all free lists are acyclic," and more. The
+// correctness tests and (optionally) the benchmarks run with these
+// enabled.
+
+// CheckThread verifies every invariant over thread tid's own structures.
+// It is safe to call while other threads run, because it only reads
+// state tid owns.
+func (h *Heap) CheckThread(tid int) error {
+	ts := h.ts(tid)
+	if err := h.small.checkLocal(ts, tid); err != nil {
+		return err
+	}
+	if err := h.large.checkLocal(ts, tid); err != nil {
+		return err
+	}
+	return h.checkHugeLocal(ts, tid)
+}
+
+// CheckAll verifies thread-local invariants for every attached thread
+// plus the global free lists. It requires quiescence (no concurrent
+// allocator activity); tests call it at barriers.
+func (h *Heap) CheckAll(tid int) error {
+	for t := 0; t < h.cfg.NumThreads; t++ {
+		if h.threads[t].attached && h.threads[t].alive {
+			if err := h.CheckThread(t); err != nil {
+				return err
+			}
+		}
+	}
+	ts := h.ts(tid)
+	if err := h.small.checkGlobal(ts, tid); err != nil {
+		return err
+	}
+	return h.large.checkGlobal(ts, tid)
+}
+
+// maybeCheck runs CheckThread when the config enables per-operation
+// checking, failing loudly on violation.
+func (h *Heap) maybeCheck(tid int) {
+	if !h.cfg.CheckInvariants {
+		return
+	}
+	if err := h.CheckThread(tid); err != nil {
+		h.fail("invariant violation: %v", err)
+	}
+}
+
+func (s *slabHeap) checkLocal(ts *threadState, tid int) error {
+	me := uint16(tid + 1)
+	seen := make(map[int]bool)
+
+	// Unsized list: owned, classless, acyclic, within the spill bound.
+	n := 0
+	cur := ts.cache.Load(s.localW(tid, 0))
+	for cur != 0 {
+		idx := int(cur - 1)
+		if seen[idx] {
+			return fmt.Errorf("%s: unsized list of thread %d has a cycle at slab %d", s.name, tid, idx)
+		}
+		seen[idx] = true
+		w0 := s.loadW0(ts, idx)
+		if w0Owner(w0) != me {
+			return fmt.Errorf("%s: slab %d on thread %d's unsized list has owner %d", s.name, idx, tid, w0Owner(w0))
+		}
+		if w0Class(w0) != 0 {
+			return fmt.Errorf("%s: slab %d on thread %d's unsized list has class %d", s.name, idx, tid, w0Class(w0))
+		}
+		n++
+		if n > s.maxSlabs {
+			return fmt.Errorf("%s: unsized list of thread %d exceeds heap size", s.name, tid)
+		}
+		cur = uint64(w0Next(w0))
+	}
+	if n > s.h.cfg.UnsizedThreshold {
+		return fmt.Errorf("%s: thread %d's unsized list has %d slabs, spill threshold is %d",
+			s.name, tid, n, s.h.cfg.UnsizedThreshold)
+	}
+
+	// Sized lists: owned, correctly classed, non-full, consistent counts.
+	for c := 1; c < len(s.classes); c++ {
+		total := s.blocksPer(c)
+		cur := ts.cache.Load(s.localW(tid, c))
+		steps := 0
+		for cur != 0 {
+			idx := int(cur - 1)
+			if seen[idx] {
+				return fmt.Errorf("%s: slab %d linked twice in thread %d's lists", s.name, idx, tid)
+			}
+			seen[idx] = true
+			w0 := s.loadW0(ts, idx)
+			if w0Owner(w0) != me {
+				return fmt.Errorf("%s: slab %d on sized list %d has owner %d, want thread %d", s.name, idx, c, w0Owner(w0), tid)
+			}
+			if w0Class(w0) != c {
+				return fmt.Errorf("%s: slab %d on sized list %d has class %d", s.name, idx, c, w0Class(w0))
+			}
+			fc := s.getFreeCount(ts, idx)
+			if fc == 0 {
+				return fmt.Errorf("%s: full slab %d on thread %d's sized list %d", s.name, idx, tid, c)
+			}
+			if pc := s.popcount(ts, idx, total); pc != fc {
+				return fmt.Errorf("%s: slab %d free count %d != bitset popcount %d", s.name, idx, fc, pc)
+			}
+			steps++
+			if steps > s.maxSlabs {
+				return fmt.Errorf("%s: sized list %d of thread %d exceeds heap size", s.name, c, tid)
+			}
+			cur = uint64(w0Next(w0))
+		}
+	}
+	return nil
+}
+
+func (s *slabHeap) checkGlobal(ts *threadState, tid int) error {
+	seen := make(map[int]bool)
+	cur := uint64(payloadOf(s.h.dcas.Load(tid, s.freeW)))
+	for cur != 0 {
+		idx := int(cur - 1)
+		if seen[idx] {
+			return fmt.Errorf("%s: global free list has a cycle at slab %d", s.name, idx)
+		}
+		seen[idx] = true
+		if len(seen) > s.maxSlabs {
+			return fmt.Errorf("%s: global free list exceeds heap size", s.name)
+		}
+		w0 := ts.cache.LoadFresh(s.descW0(idx))
+		if w0Owner(w0) != 0 {
+			return fmt.Errorf("%s: slab %d on global free list has owner %d", s.name, idx, w0Owner(w0))
+		}
+		if w0Class(w0) != 0 {
+			return fmt.Errorf("%s: slab %d on global free list has class %d", s.name, idx, w0Class(w0))
+		}
+		cur = uint64(w0Next(w0))
+	}
+	return nil
+}
+
+func (h *Heap) checkHugeLocal(ts *threadState, tid int) error {
+	// Descriptor list: acyclic, every linked descriptor in use, ranges
+	// within regions this thread owns.
+	seen := make(map[int]bool)
+	cur := h.hugeLoad(ts, h.hugeHeadW(tid))
+	for uint32(cur) != 0 {
+		id := int(uint32(cur)) - 1
+		if seen[id] {
+			return fmt.Errorf("huge: descriptor list of thread %d has a cycle at %d", tid, id)
+		}
+		seen[id] = true
+		if len(seen) > h.cfg.DescsPerThread {
+			return fmt.Errorf("huge: descriptor list of thread %d exceeds pool size", tid)
+		}
+		w0 := h.hugeLoad(ts, h.descW(id, hdNext))
+		if w0&hdInUseBit == 0 {
+			return fmt.Errorf("huge: linked descriptor %d of thread %d is not in use", id, tid)
+		}
+		off := h.hugeLoad(ts, h.descW(id, hdOffset))
+		size := h.hugeLoad(ts, h.descW(id, hdSize))
+		if off < h.lay.HugeDataOff || off+size > h.lay.DataBytes || size == 0 {
+			return fmt.Errorf("huge: descriptor %d has bad range [%#x, %#x)", id, off, off+size)
+		}
+		if off%uint64(h.cfg.PageSize) != 0 || size%uint64(h.cfg.PageSize) != 0 {
+			return fmt.Errorf("huge: descriptor %d range not page aligned", id)
+		}
+		cur = w0
+	}
+	// The free interval set must not overlap any live allocation of this
+	// thread: every live range must be AllocAt-able from a fresh copy of
+	// the owned-region space minus the free set... equivalently, the
+	// free set must not contain any live range's start.
+	var bad error
+	for slot := 0; slot < h.cfg.DescsPerThread && bad == nil; slot++ {
+		id := tid*h.cfg.DescsPerThread + slot
+		if h.hugeLoad(ts, h.descW(id, hdNext))&hdInUseBit == 0 {
+			continue
+		}
+		off := h.hugeLoad(ts, h.descW(id, hdOffset))
+		if ts.hugeFree.Contains(off, 1) {
+			bad = fmt.Errorf("huge: live allocation at %#x overlaps thread %d's free set", off, tid)
+		}
+	}
+	// Hazards must be page-aligned offsets within the huge area (or 0).
+	for i := 0; i < h.cfg.NumHazards; i++ {
+		v := h.hugeLoad(ts, h.hazardW(tid, i))
+		if v == 0 {
+			continue
+		}
+		if v < h.lay.HugeDataOff || v >= h.lay.DataBytes || v%uint64(h.cfg.PageSize) != 0 {
+			return fmt.Errorf("huge: thread %d hazard slot %d holds invalid offset %#x", tid, i, v)
+		}
+	}
+	return bad
+}
+
+// payloadOf aliases atomicx.Payload without importing it in every file.
+func payloadOf(w uint64) uint32 { return uint32(w) }

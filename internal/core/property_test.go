@@ -1,0 +1,151 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cxlalloc/internal/xrand"
+)
+
+// Property: pointers returned by Alloc are always within the correct
+// heap region, aligned to their class size, and UsableSize covers the
+// request.
+func TestQuickPointerGeometry(t *testing.T) {
+	e := newEnv(t, testConfig(), 1, 1)
+	f := func(raw uint32) bool {
+		size := int(raw%uint64Cap) + 1
+		p, err := e.h.Alloc(0, size)
+		if err != nil {
+			return size > largeMax // only huge-range sizes may fail here (capacity)
+		}
+		defer e.h.Free(0, p)
+		us := e.h.UsableSize(0, p)
+		if us < size {
+			return false
+		}
+		switch {
+		case size <= smallMax:
+			if p < e.h.lay.SmallDataOff || p >= e.h.lay.LargeDataOff {
+				return false
+			}
+			rel := p - e.h.small.slabData(e.h.small.slabOf(p))
+			return rel%uint64(us) == 0
+		case size <= largeMax:
+			if p < e.h.lay.LargeDataOff || p >= e.h.lay.HugeDataOff {
+				return false
+			}
+			rel := p - e.h.large.slabData(e.h.large.slabOf(p))
+			return rel%uint64(us) == 0
+		default:
+			return p >= e.h.lay.HugeDataOff && p%uint64(e.cfg.PageSize) == 0
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+const uint64Cap = 1 << 20 // cap sizes at 1 MiB so huge capacity suffices
+
+// Property: no two live allocations overlap, across mixed sizes.
+func TestQuickNoOverlap(t *testing.T) {
+	f := func(seed uint64) bool {
+		cfg := testConfig()
+		cfg.CheckInvariants = false
+		e := newEnv(t, cfg, 1, 1)
+		rng := xrand.New(seed)
+		type span struct{ lo, hi uint64 }
+		var live []span
+		for i := 0; i < 120; i++ {
+			size := rng.IntRange(1, 8192)
+			p, err := e.h.Alloc(0, size)
+			if err != nil {
+				return false
+			}
+			s := span{p, p + uint64(e.h.UsableSize(0, p))}
+			for _, o := range live {
+				if s.lo < o.hi && o.lo < s.hi {
+					return false // overlap
+				}
+			}
+			live = append(live, s)
+		}
+		for _, s := range live {
+			e.h.Free(0, s.lo)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a full alloc-all/free-all cycle returns the heap to a state
+// where the same cycle fits in the same number of slabs (no creep).
+func TestQuickStableFootprintAcrossCycles(t *testing.T) {
+	f := func(seed uint64) bool {
+		cfg := testConfig()
+		cfg.CheckInvariants = false
+		e := newEnv(t, cfg, 1, 2)
+		rng := xrand.New(seed)
+		sizes := make([]int, 60)
+		for i := range sizes {
+			sizes[i] = rng.IntRange(1, smallMax)
+		}
+		var lens []uint32
+		for cycle := 0; cycle < 3; cycle++ {
+			ptrs := make([]Ptr, len(sizes))
+			for i, size := range sizes {
+				p, err := e.h.Alloc(0, size)
+				if err != nil {
+					return false
+				}
+				ptrs[i] = p
+			}
+			// Alternate local and remote frees between cycles.
+			freer := cycle % 2
+			for _, p := range ptrs {
+				e.h.Free(freer, p)
+			}
+			l, _ := e.h.HeapLengths(0)
+			lens = append(lens, l)
+		}
+		// The second and third cycles must not grow the heap.
+		return lens[2] <= lens[1]+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: data written through one thread's view is intact through
+// any other process's view, for random offsets within the allocation.
+func TestQuickCrossProcessDataIntegrity(t *testing.T) {
+	e := newEnv(t, testConfig(), 2, 1)
+	f := func(seed uint64, sizeRaw uint16) bool {
+		size := int(sizeRaw)%60000 + 1
+		p, err := e.h.Alloc(0, size)
+		if err != nil {
+			return false
+		}
+		// Free locally: freeing every block remotely, one per slab, is
+		// the paper's acknowledged pathological pattern (§3.2.1) where
+		// blocks stay unreusable until a whole slab is remotely freed.
+		defer e.h.Free(0, p)
+		rng := xrand.New(seed)
+		w := e.h.Bytes(0, p, size)
+		for i := 0; i < 16; i++ {
+			w[rng.Intn(size)] = byte(rng.Uint64())
+		}
+		r := e.h.Bytes(1, p, size)
+		for i := range w {
+			if w[i] != r[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

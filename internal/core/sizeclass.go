@@ -1,0 +1,63 @@
+package core
+
+// Size classes. The small heap serves 8 B – 1 KiB and the large heap
+// 1 KiB – 512 KiB (paper §3.1); anything larger goes to the huge heap.
+// Class spacing follows the usual slab-allocator compromise between
+// internal fragmentation (≤ 25% here: each class is at most 1.5× the
+// previous) and per-thread free-list count. Class 0 is reserved to mean
+// "no class" so that zeroed descriptors are valid unsized slabs.
+
+const (
+	smallMin = 8
+	smallMax = 1 << 10   // 1 KiB
+	largeMax = 512 << 10 // 512 KiB
+)
+
+// smallClassSizes[c] is the block size of small class c (c >= 1).
+var smallClassSizes = []int{
+	0, // class 0: none
+	8, 16, 32, 48, 64, 96, 128, 192, 256, 384, 512, 768, 1024,
+}
+
+// largeClassSizes[c] is the block size of large class c (c >= 1).
+var largeClassSizes = []int{
+	0, // class 0: none
+	1536, 2048, 3072, 4096, 6144, 8192, 12288, 16384, 24576, 32768,
+	49152, 65536, 98304, 131072, 196608, 262144, 393216, 524288,
+}
+
+// numSmallClasses / numLargeClasses exclude the reserved class 0.
+var (
+	numSmallClasses = len(smallClassSizes) - 1
+	numLargeClasses = len(largeClassSizes) - 1
+)
+
+// smallClassLookup maps ceil(size/8)-1 to a small class for O(1) class
+// selection on the allocation fast path.
+var smallClassLookup [smallMax / 8]uint8
+
+func init() {
+	c := 1
+	for i := range smallClassLookup {
+		size := (i + 1) * 8
+		for smallClassSizes[c] < size {
+			c++
+		}
+		smallClassLookup[i] = uint8(c)
+	}
+}
+
+// smallClassOf returns the small class for a size in (0, smallMax].
+func smallClassOf(size int) int {
+	return int(smallClassLookup[(size+7)/8-1])
+}
+
+// largeClassOf returns the large class for a size in (smallMax, largeMax].
+func largeClassOf(size int) int {
+	for c := 1; c < len(largeClassSizes); c++ {
+		if largeClassSizes[c] >= size {
+			return c
+		}
+	}
+	panic("core: largeClassOf out of range")
+}

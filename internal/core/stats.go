@@ -1,0 +1,79 @@
+package core
+
+import "cxlalloc/internal/atomicx"
+
+// Footprint is the memory-accounting view the evaluation reports:
+// total consumption (the PSS analogue) split by region, with HWcc bytes
+// broken out because minimizing them is a headline claim (§3.2: 2 B of
+// information — 8 B with detectable CAS — per slab, plus constants).
+type Footprint struct {
+	// HWccBytes is HWcc metadata in active use: the fixed words (heap
+	// lengths, free-list heads, reservation array, help array) plus one
+	// word per mapped slab.
+	HWccBytes uint64
+	// MetaBytes is SWcc metadata in active use: descriptors of mapped
+	// slabs, per-thread state, huge descriptors, recovery records.
+	MetaBytes uint64
+	// DataBytes is data-region memory backing mapped slabs and live huge
+	// allocations.
+	DataBytes uint64
+}
+
+// Total returns the full footprint in bytes.
+func (f Footprint) Total() uint64 { return f.HWccBytes + f.MetaBytes + f.DataBytes }
+
+// HWccFraction returns HWccBytes / Total (the paper reports cxlalloc at
+// ~0.02% on macrobenchmarks).
+func (f Footprint) HWccFraction() float64 {
+	t := f.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(f.HWccBytes) / float64(t)
+}
+
+// Footprint computes the heap's current footprint as seen by thread tid.
+func (h *Heap) Footprint(tid int) Footprint {
+	ts := h.ts(tid)
+	smallLen := uint64(h.small.length(tid))
+	largeLen := uint64(h.large.length(tid))
+
+	var f Footprint
+	fixedHW := uint64(4 + h.cfg.NumReservations + h.cfg.NumThreads)
+	f.HWccBytes = 8 * (fixedHW + smallLen + largeLen)
+
+	f.MetaBytes = 8 * (smallLen*uint64(h.lay.SmallDescStride) +
+		largeLen*uint64(h.lay.LargeDescStride) +
+		uint64(h.cfg.NumThreads)*uint64(h.lay.SmallLocalStride+h.lay.LargeLocalStride+h.lay.HugeLocalStride+lineWords))
+
+	f.DataBytes = smallLen*uint64(h.cfg.SmallSlabSize) + largeLen*uint64(h.cfg.LargeSlabSize)
+
+	// Live huge allocations and their descriptors.
+	for t := 0; t < h.cfg.NumThreads; t++ {
+		for slot := 0; slot < h.cfg.DescsPerThread; slot++ {
+			id := t*h.cfg.DescsPerThread + slot
+			if h.hugeLoad(ts, h.descW(id, hdNext))&hdInUseBit != 0 {
+				f.DataBytes += h.hugeLoad(ts, h.descW(id, hdSize))
+				f.MetaBytes += 8 * uint64(h.lay.HugeDescStride)
+			}
+		}
+	}
+	return f
+}
+
+// HeapLengths returns the current small and large heap lengths in slabs
+// (for tests and the harness).
+func (h *Heap) HeapLengths(tid int) (small, large uint32) {
+	return h.small.length(tid), h.large.length(tid)
+}
+
+// CacheStatsFor returns thread tid's SWcc cache counters.
+func (h *Heap) CacheStatsFor(tid int) (loads, hits, flushes, fences uint64) {
+	st := h.ts(tid).cache.Stats()
+	return st.Loads, st.Hits, st.Flushes, st.Fences
+}
+
+// remoteCount returns the remote-free countdown of a slab (tests only).
+func (s *slabHeap) remoteCount(tid, idx int) uint32 {
+	return atomicx.Payload(s.h.dcas.Load(tid, s.hwBase+idx))
+}

@@ -1,0 +1,172 @@
+// Package crash provides the failure-injection framework behind the
+// paper's correctness evaluation (§5.1): "black-box tests with random
+// thread crashes, and white-box tests with defined thread crash points".
+//
+// The allocator is instrumented with named crash points at every step of
+// every state transition. An Injector arms points — deterministically
+// ("crash thread 3 the 2nd time it reaches small.pop-global.pre-cas") or
+// randomly with a probability — and an armed point fires by panicking
+// with *Crashed. The simulated thread's runner catches *Crashed at its
+// boundary and marks the thread dead, leaving all shared state exactly
+// as the crash left it: mid-operation, possibly with dirty cache lines
+// that will never be written back. Recovery code is then exercised
+// against that state.
+package crash
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"cxlalloc/internal/xrand"
+)
+
+// Crashed is the panic value thrown by a firing crash point.
+type Crashed struct {
+	TID   int
+	Point string
+}
+
+func (c *Crashed) Error() string {
+	return fmt.Sprintf("crash: thread %d crashed at %q", c.TID, c.Point)
+}
+
+// Injector decides which crash points fire. A nil *Injector is inert and
+// costs one branch per point, so production paths keep their hooks. All
+// methods are safe for concurrent use.
+type Injector struct {
+	mu      sync.Mutex
+	armed   map[string]map[int]int // point -> tid -> remaining visits before firing
+	prob    float64                // random crash probability per visit
+	probTID map[int]bool           // nil = all threads eligible
+	rng     *xrand.Rand
+	hits    map[string]uint64 // visits per point (coverage)
+	fired   map[string]uint64
+}
+
+// NewInjector returns an injector with nothing armed.
+func NewInjector() *Injector {
+	return &Injector{
+		armed: make(map[string]map[int]int),
+		hits:  make(map[string]uint64),
+		fired: make(map[string]uint64),
+	}
+}
+
+// Arm schedules thread tid to crash at point after skipping `after`
+// earlier visits (after=0 crashes on the next visit).
+func (in *Injector) Arm(point string, tid, after int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	m := in.armed[point]
+	if m == nil {
+		m = make(map[int]int)
+		in.armed[point] = m
+	}
+	m[tid] = after
+}
+
+// ArmRandom makes every visit to every point by an eligible thread crash
+// with probability p. tids == nil makes all threads eligible.
+func (in *Injector) ArmRandom(p float64, seed uint64, tids ...int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.prob = p
+	in.rng = xrand.New(seed)
+	if len(tids) > 0 {
+		in.probTID = make(map[int]bool, len(tids))
+		for _, t := range tids {
+			in.probTID[t] = true
+		}
+	} else {
+		in.probTID = nil
+	}
+}
+
+// Disarm clears all armed points and random crashing.
+func (in *Injector) Disarm() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.armed = make(map[string]map[int]int)
+	in.prob = 0
+	in.probTID = nil
+}
+
+// Point is the hook compiled into the allocator. It panics with *Crashed
+// if the point is armed for tid. A nil receiver is a no-op.
+func (in *Injector) Point(tid int, point string) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.hits[point]++
+	if m, ok := in.armed[point]; ok {
+		if remaining, ok := m[tid]; ok {
+			if remaining == 0 {
+				delete(m, tid)
+				in.fired[point]++
+				in.mu.Unlock()
+				panic(&Crashed{TID: tid, Point: point})
+			}
+			m[tid] = remaining - 1
+		}
+	}
+	if in.prob > 0 && (in.probTID == nil || in.probTID[tid]) && in.rng.Float64() < in.prob {
+		in.fired[point]++
+		in.mu.Unlock()
+		panic(&Crashed{TID: tid, Point: point})
+	}
+	in.mu.Unlock()
+}
+
+// Points returns every point visited so far, sorted, with visit counts.
+// Tests use it to assert crash-point coverage.
+func (in *Injector) Points() map[string]uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[string]uint64, len(in.hits))
+	for k, v := range in.hits {
+		out[k] = v
+	}
+	return out
+}
+
+// Fired returns how many crashes each point produced.
+func (in *Injector) Fired() map[string]uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[string]uint64, len(in.fired))
+	for k, v := range in.fired {
+		out[k] = v
+	}
+	return out
+}
+
+// PointNames returns the sorted names of all visited points.
+func (in *Injector) PointNames() []string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	names := make([]string, 0, len(in.hits))
+	for k := range in.hits {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Run invokes f and converts a crash-point panic into a returned
+// *Crashed, re-panicking on any other panic. It is the thread-boundary
+// catch used by simulated thread runners.
+func Run(f func()) (crashed *Crashed) {
+	defer func() {
+		if r := recover(); r != nil {
+			if c, ok := r.(*Crashed); ok {
+				crashed = c
+				return
+			}
+			panic(r)
+		}
+	}()
+	f()
+	return nil
+}

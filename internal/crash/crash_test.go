@@ -1,0 +1,143 @@
+package crash
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	in.Point(0, "anything") // must not panic
+}
+
+func TestArmFiresOnNthVisit(t *testing.T) {
+	in := NewInjector()
+	in.Arm("p", 3, 2) // skip 2 visits, fire on the 3rd
+	visits := 0
+	c := Run(func() {
+		for i := 0; i < 10; i++ {
+			visits++
+			in.Point(3, "p")
+		}
+	})
+	if c == nil {
+		t.Fatal("armed point never fired")
+	}
+	if visits != 3 {
+		t.Fatalf("fired on visit %d, want 3", visits)
+	}
+	if c.TID != 3 || c.Point != "p" {
+		t.Fatalf("crash = %+v", c)
+	}
+	if c.Error() == "" {
+		t.Fatal("empty error")
+	}
+	// Fired once; disarmed afterwards.
+	if c := Run(func() { in.Point(3, "p") }); c != nil {
+		t.Fatal("point fired twice")
+	}
+}
+
+func TestArmIsPerThread(t *testing.T) {
+	in := NewInjector()
+	in.Arm("p", 1, 0)
+	if c := Run(func() { in.Point(2, "p") }); c != nil {
+		t.Fatal("wrong thread crashed")
+	}
+	if c := Run(func() { in.Point(1, "p") }); c == nil {
+		t.Fatal("armed thread did not crash")
+	}
+}
+
+func TestRandomCrashEventuallyFires(t *testing.T) {
+	in := NewInjector()
+	in.ArmRandom(0.05, 42)
+	fired := false
+	for i := 0; i < 1000 && !fired; i++ {
+		if c := Run(func() { in.Point(0, "loop") }); c != nil {
+			fired = true
+		}
+	}
+	if !fired {
+		t.Fatal("p=0.05 never fired in 1000 visits")
+	}
+	total := uint64(0)
+	for _, n := range in.Fired() {
+		total += n
+	}
+	if total == 0 {
+		t.Fatal("Fired() recorded nothing")
+	}
+}
+
+func TestRandomCrashRespectsTIDFilter(t *testing.T) {
+	in := NewInjector()
+	in.ArmRandom(1.0, 7, 5) // only thread 5
+	if c := Run(func() { in.Point(4, "x") }); c != nil {
+		t.Fatal("filtered thread crashed")
+	}
+	if c := Run(func() { in.Point(5, "x") }); c == nil {
+		t.Fatal("eligible thread did not crash at p=1")
+	}
+}
+
+func TestDisarm(t *testing.T) {
+	in := NewInjector()
+	in.Arm("p", 0, 0)
+	in.ArmRandom(1.0, 1)
+	in.Disarm()
+	if c := Run(func() { in.Point(0, "p") }); c != nil {
+		t.Fatal("disarmed injector crashed")
+	}
+}
+
+func TestCoverageCounters(t *testing.T) {
+	in := NewInjector()
+	Run(func() {
+		in.Point(0, "a")
+		in.Point(0, "a")
+		in.Point(1, "b")
+	})
+	pts := in.Points()
+	if pts["a"] != 2 || pts["b"] != 1 {
+		t.Fatalf("points = %v", pts)
+	}
+	names := in.PointNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestRunRepanicsForeignPanics(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("foreign panic not propagated: %v", r)
+		}
+	}()
+	Run(func() { panic("boom") })
+}
+
+func TestConcurrentPoints(t *testing.T) {
+	in := NewInjector()
+	in.Arm("p", 7, 100)
+	var crashes int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if c := Run(func() { in.Point(tid, "p") }); c != nil {
+					mu.Lock()
+					crashes++
+					mu.Unlock()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if crashes != 1 {
+		t.Fatalf("crashes = %d, want exactly 1 (thread 7, visit 101)", crashes)
+	}
+}

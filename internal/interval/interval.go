@@ -1,0 +1,263 @@
+// Package interval implements the free-interval set each thread keeps
+// for the huge heap (HugeLocal.free in the paper's Figure 5).
+//
+// The paper notes "any deterministic data structure will work here"
+// because the structure is volatile: on recovery it is reconstructed
+// deterministically from the reservation array and the thread's huge
+// descriptor list. We use a balanced treap keyed by offset with eager
+// coalescing of adjacent free ranges, which gives O(log n) allocate and
+// free and deterministic shape for a given insertion sequence (priorities
+// are derived from the offset by hashing, not from a global RNG).
+package interval
+
+// Set is a set of disjoint, coalesced [offset, offset+size) ranges.
+// The zero value is an empty set. Set is not safe for concurrent use;
+// each simulated thread owns its own Set.
+type Set struct {
+	root *node
+	free uint64 // total free bytes, maintained incrementally
+}
+
+type node struct {
+	off, size   uint64
+	prio        uint64
+	maxSize     uint64 // max size in this subtree, for first-fit descent
+	left, right *node
+}
+
+// hashPrio derives a treap priority from the range offset so that the
+// tree shape is a pure function of its contents (deterministic rebuild
+// on recovery produces an identical structure).
+func hashPrio(off uint64) uint64 {
+	x := off + 0x9e3779b97f4a7c15
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x
+}
+
+func (n *node) update() {
+	n.maxSize = n.size
+	if n.left != nil && n.left.maxSize > n.maxSize {
+		n.maxSize = n.left.maxSize
+	}
+	if n.right != nil && n.right.maxSize > n.maxSize {
+		n.maxSize = n.right.maxSize
+	}
+}
+
+// split partitions t into ranges with offset < off and offset >= off.
+func split(t *node, off uint64) (l, r *node) {
+	if t == nil {
+		return nil, nil
+	}
+	if t.off < off {
+		t.right, r = split(t.right, off)
+		t.update()
+		return t, r
+	}
+	l, t.left = split(t.left, off)
+	t.update()
+	return l, t
+}
+
+func merge(l, r *node) *node {
+	switch {
+	case l == nil:
+		return r
+	case r == nil:
+		return l
+	case l.prio > r.prio:
+		l.right = merge(l.right, r)
+		l.update()
+		return l
+	default:
+		r.left = merge(l, r.left)
+		r.update()
+		return r
+	}
+}
+
+// FreeBytes returns the total number of free bytes in the set.
+func (s *Set) FreeBytes() uint64 { return s.free }
+
+// Len returns the number of disjoint ranges in the set.
+func (s *Set) Len() int {
+	var count func(*node) int
+	count = func(n *node) int {
+		if n == nil {
+			return 0
+		}
+		return 1 + count(n.left) + count(n.right)
+	}
+	return count(s.root)
+}
+
+// Add returns the range [off, off+size) to the set, coalescing with any
+// adjacent ranges. It panics if the range overlaps an existing range,
+// which would indicate a double free of virtual address space.
+func (s *Set) Add(off, size uint64) {
+	if size == 0 {
+		return
+	}
+	newBytes := size
+	l, r := split(s.root, off)
+	// Coalesce with the predecessor if it ends exactly at off.
+	if p := rightmost(l); p != nil {
+		if p.off+p.size > off {
+			panic("interval: Add overlaps existing range (double free)")
+		}
+		if p.off+p.size == off {
+			l = removeAt(l, p.off)
+			off = p.off
+			size += p.size
+		}
+	}
+	// Coalesce with the successor if it starts exactly at off+size.
+	if q := leftmost(r); q != nil {
+		if q.off < off+size {
+			panic("interval: Add overlaps existing range (double free)")
+		}
+		if q.off == off+size {
+			r = removeAt(r, q.off)
+			size += q.size
+		}
+	}
+	n := &node{off: off, size: size, prio: hashPrio(off)}
+	n.update()
+	s.root = merge(merge(l, n), r)
+	// Coalescing grows the node but only the caller's range is newly
+	// freed; the absorbed neighbors were already counted.
+	s.free += newBytes
+}
+
+// Alloc removes and returns the offset of a range of exactly size bytes,
+// using address-ordered first fit (lowest adequate offset). It reports
+// ok=false if no range is large enough.
+func (s *Set) Alloc(size uint64) (off uint64, ok bool) {
+	if size == 0 || s.root == nil || s.root.maxSize < size {
+		return 0, false
+	}
+	n := firstFit(s.root, size)
+	off = n.off
+	s.root = removeAt(s.root, n.off)
+	if n.size > size {
+		rest := &node{off: n.off + size, size: n.size - size, prio: hashPrio(n.off + size)}
+		rest.update()
+		l, r := split(s.root, rest.off)
+		s.root = merge(merge(l, rest), r)
+	}
+	s.free -= size
+	return off, true
+}
+
+// AllocAt removes the specific range [off, off+size) from the set,
+// reporting whether it was fully free. It is used by recovery to replay
+// an allocation at a known offset idempotently.
+func (s *Set) AllocAt(off, size uint64) bool {
+	n := findCovering(s.root, off, size)
+	if n == nil {
+		return false
+	}
+	noff, nsize := n.off, n.size
+	s.root = removeAt(s.root, noff)
+	if off > noff {
+		pre := &node{off: noff, size: off - noff, prio: hashPrio(noff)}
+		pre.update()
+		l, r := split(s.root, pre.off)
+		s.root = merge(merge(l, pre), r)
+	}
+	if end, nend := off+size, noff+nsize; nend > end {
+		post := &node{off: end, size: nend - end, prio: hashPrio(end)}
+		post.update()
+		l, r := split(s.root, post.off)
+		s.root = merge(merge(l, post), r)
+	}
+	s.free -= size
+	return true
+}
+
+// Contains reports whether [off, off+size) is entirely free.
+func (s *Set) Contains(off, size uint64) bool {
+	return findCovering(s.root, off, size) != nil
+}
+
+// Ranges calls fn for each free range in ascending offset order.
+func (s *Set) Ranges(fn func(off, size uint64)) {
+	var walk func(*node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		walk(n.left)
+		fn(n.off, n.size)
+		walk(n.right)
+	}
+	walk(s.root)
+}
+
+func firstFit(n *node, size uint64) *node {
+	for {
+		if n.left != nil && n.left.maxSize >= size {
+			n = n.left
+			continue
+		}
+		if n.size >= size {
+			return n
+		}
+		n = n.right // invariant: maxSize ensures a fit exists to the right
+	}
+}
+
+func findCovering(n *node, off, size uint64) *node {
+	for n != nil {
+		switch {
+		case off < n.off:
+			n = n.left
+		case off >= n.off+n.size:
+			n = n.right
+		default:
+			if off+size <= n.off+n.size {
+				return n
+			}
+			return nil
+		}
+	}
+	return nil
+}
+
+func removeAt(t *node, off uint64) *node {
+	if t == nil {
+		return nil
+	}
+	if t.off == off {
+		return merge(t.left, t.right)
+	}
+	if off < t.off {
+		t.left = removeAt(t.left, off)
+	} else {
+		t.right = removeAt(t.right, off)
+	}
+	t.update()
+	return t
+}
+
+func leftmost(n *node) *node {
+	if n == nil {
+		return nil
+	}
+	for n.left != nil {
+		n = n.left
+	}
+	return n
+}
+
+func rightmost(n *node) *node {
+	if n == nil {
+		return nil
+	}
+	for n.right != nil {
+		n = n.right
+	}
+	return n
+}

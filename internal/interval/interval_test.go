@@ -1,0 +1,240 @@
+package interval
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cxlalloc/internal/xrand"
+)
+
+func collect(s *Set) [][2]uint64 {
+	var out [][2]uint64
+	s.Ranges(func(off, size uint64) { out = append(out, [2]uint64{off, size}) })
+	return out
+}
+
+func TestAddCoalesces(t *testing.T) {
+	var s Set
+	s.Add(100, 50)
+	s.Add(200, 50)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	s.Add(150, 50) // bridges the two
+	if s.Len() != 1 {
+		t.Fatalf("after bridge, Len = %d, want 1", s.Len())
+	}
+	r := collect(&s)
+	if r[0] != [2]uint64{100, 150} {
+		t.Fatalf("range = %v, want {100,150}", r[0])
+	}
+	if s.FreeBytes() != 150 {
+		t.Fatalf("FreeBytes = %d, want 150", s.FreeBytes())
+	}
+}
+
+func TestAddOverlapPanics(t *testing.T) {
+	for _, c := range [][2]uint64{{100, 10}, {95, 10}, {105, 10}, {90, 100}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Add(%d,%d) over [100,110) did not panic", c[0], c[1])
+				}
+			}()
+			var s Set
+			s.Add(100, 10)
+			s.Add(c[0], c[1])
+		}()
+	}
+}
+
+func TestAllocFirstFit(t *testing.T) {
+	var s Set
+	s.Add(0, 10)
+	s.Add(100, 30)
+	s.Add(200, 20)
+	off, ok := s.Alloc(15)
+	if !ok || off != 100 {
+		t.Fatalf("Alloc(15) = %d,%v; want 100,true (first fit skips [0,10))", off, ok)
+	}
+	// Remainder of [100,130) is [115,130).
+	off, ok = s.Alloc(15)
+	if !ok || off != 115 {
+		t.Fatalf("Alloc(15) #2 = %d,%v; want 115,true", off, ok)
+	}
+	off, ok = s.Alloc(20)
+	if !ok || off != 200 {
+		t.Fatalf("Alloc(20) = %d,%v; want 200,true", off, ok)
+	}
+	if _, ok := s.Alloc(11); ok {
+		t.Fatal("Alloc(11) succeeded; only [0,10) remains")
+	}
+	off, ok = s.Alloc(10)
+	if !ok || off != 0 {
+		t.Fatalf("Alloc(10) = %d,%v; want 0,true", off, ok)
+	}
+	if s.FreeBytes() != 0 {
+		t.Fatalf("FreeBytes = %d, want 0", s.FreeBytes())
+	}
+}
+
+func TestAllocAt(t *testing.T) {
+	var s Set
+	s.Add(0, 100)
+	if !s.AllocAt(20, 30) {
+		t.Fatal("AllocAt(20,30) failed on [0,100)")
+	}
+	got := collect(&s)
+	want := [][2]uint64{{0, 20}, {50, 50}}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("ranges = %v, want %v", got, want)
+	}
+	if s.AllocAt(20, 30) {
+		t.Fatal("AllocAt(20,30) succeeded twice")
+	}
+	if s.AllocAt(40, 30) {
+		t.Fatal("AllocAt(40,30) succeeded across a hole")
+	}
+	if !s.Contains(50, 50) || s.Contains(19, 2) {
+		t.Fatal("Contains disagrees with layout")
+	}
+}
+
+func TestAllocExhaustionAndRefill(t *testing.T) {
+	var s Set
+	s.Add(0, 64)
+	var offs []uint64
+	for i := 0; i < 8; i++ {
+		off, ok := s.Alloc(8)
+		if !ok {
+			t.Fatalf("Alloc(8) #%d failed", i)
+		}
+		offs = append(offs, off)
+	}
+	if _, ok := s.Alloc(1); ok {
+		t.Fatal("Alloc(1) succeeded on empty set")
+	}
+	for _, off := range offs {
+		s.Add(off, 8)
+	}
+	if s.Len() != 1 || s.FreeBytes() != 64 {
+		t.Fatalf("after refill: Len=%d FreeBytes=%d, want 1,64", s.Len(), s.FreeBytes())
+	}
+}
+
+// naive is a reference model: a sorted slice of free ranges.
+type naive struct{ ranges [][2]uint64 }
+
+func (n *naive) add(off, size uint64) {
+	n.ranges = append(n.ranges, [2]uint64{off, size})
+	// insertion sort by offset
+	for i := len(n.ranges) - 1; i > 0 && n.ranges[i][0] < n.ranges[i-1][0]; i-- {
+		n.ranges[i], n.ranges[i-1] = n.ranges[i-1], n.ranges[i]
+	}
+	// coalesce
+	out := n.ranges[:0]
+	for _, r := range n.ranges {
+		if len(out) > 0 && out[len(out)-1][0]+out[len(out)-1][1] == r[0] {
+			out[len(out)-1][1] += r[1]
+		} else {
+			out = append(out, r)
+		}
+	}
+	n.ranges = out
+}
+
+func (n *naive) alloc(size uint64) (uint64, bool) {
+	for i, r := range n.ranges {
+		if r[1] >= size {
+			off := r[0]
+			if r[1] == size {
+				n.ranges = append(n.ranges[:i], n.ranges[i+1:]...)
+			} else {
+				n.ranges[i] = [2]uint64{r[0] + size, r[1] - size}
+			}
+			return off, true
+		}
+	}
+	return 0, false
+}
+
+// Property: the treap agrees with the naive model across random
+// alloc/free sequences.
+func TestQuickAgainstModel(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		var s Set
+		var m naive
+		s.Add(0, 4096)
+		m.add(0, 4096)
+		type live struct{ off, size uint64 }
+		var allocs []live
+		for step := 0; step < 300; step++ {
+			if rng.Intn(2) == 0 {
+				size := uint64(rng.IntRange(1, 256))
+				off1, ok1 := s.Alloc(size)
+				off2, ok2 := m.alloc(size)
+				if ok1 != ok2 || (ok1 && off1 != off2) {
+					return false
+				}
+				if ok1 {
+					allocs = append(allocs, live{off1, size})
+				}
+			} else if len(allocs) > 0 {
+				i := rng.Intn(len(allocs))
+				a := allocs[i]
+				allocs = append(allocs[:i], allocs[i+1:]...)
+				s.Add(a.off, a.size)
+				m.add(a.off, a.size)
+			}
+			// Compare full state every few steps.
+			if step%37 == 0 {
+				got := collect(&s)
+				if len(got) != len(m.ranges) {
+					return false
+				}
+				for i := range got {
+					if got[i] != m.ranges[i] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: tree shape is deterministic — rebuilding from the same final
+// ranges yields identical traversal (recovery rebuilds HugeLocal.free).
+func TestQuickDeterministicRebuild(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		var s Set
+		s.Add(0, 1<<20)
+		for i := 0; i < 100; i++ {
+			s.Alloc(uint64(rng.IntRange(1, 4096)))
+		}
+		ranges := collect(&s)
+		// Rebuild in reverse order; contents must match regardless.
+		var s2 Set
+		for i := len(ranges) - 1; i >= 0; i-- {
+			s2.Add(ranges[i][0], ranges[i][1])
+		}
+		got := collect(&s2)
+		if len(got) != len(ranges) {
+			return false
+		}
+		for i := range got {
+			if got[i] != ranges[i] {
+				return false
+			}
+		}
+		return s2.FreeBytes() == s.FreeBytes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

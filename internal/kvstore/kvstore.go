@@ -1,0 +1,278 @@
+// Package kvstore is the in-memory key-value index of the paper's
+// macrobenchmarks (§5.2.1): an adaptation of cxl-shm's non-resizable
+// lock-free hash table, extended with deletion via logical marking and
+// epoch-based reclamation.
+//
+// The index structure is deliberately identical across allocators
+// ("because we are comparing the impact of the underlying allocator, and
+// not the index data structure"): chain nodes live in harness memory,
+// while every entry's key and value bytes are one allocation from the
+// allocator under test — so each insert is one Alloc, each
+// delete/replace is one (possibly remote, possibly deferred) Free, and
+// each read is one AccessHook on the allocation.
+package kvstore
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+
+	"cxlalloc/internal/alloc"
+	"cxlalloc/internal/epoch"
+)
+
+// node is one chain entry. Nodes are insert-at-head only; deletion is a
+// logical flag followed by best-effort physical unlinking, which keeps
+// the list lock-free without marked-pointer tricks (a node is never
+// inserted mid-list, so the classic lost-insert race cannot occur).
+type node struct {
+	next    atomic.Pointer[node]
+	deleted atomic.Bool
+	ptr     alloc.Ptr // key||value allocation
+	keyLen  int32
+	valLen  int32
+	hash    uint64
+}
+
+// Store is the hash index. Reads and inserts are lock-free; physical
+// unlinking of logically deleted nodes serializes per bucket shard
+// (without marked pointers, a concurrent unlink of a victim's successor
+// could resurrect a reclaimed node through a stale next pointer; a
+// deleter-only shard lock rules that out while leaving the measured hot
+// paths — reads and inserts — lock-free). All methods are safe for
+// concurrent use by distinct thread IDs.
+type Store struct {
+	buckets []atomic.Pointer[node]
+	mask    uint64
+	mem     alloc.Allocator
+	rec     *epoch.Reclaimer
+	shards  []sync.Mutex
+
+	inserts  atomic.Uint64
+	replaces atomic.Uint64
+	deletes  atomic.Uint64
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+}
+
+// New creates a store with nBuckets (rounded up to a power of two)
+// over the given allocator, for nThreads threads.
+func New(mem alloc.Allocator, nBuckets, nThreads int) *Store {
+	n := 1
+	for n < nBuckets {
+		n <<= 1
+	}
+	return &Store{
+		buckets: make([]atomic.Pointer[node], n),
+		mask:    uint64(n - 1),
+		mem:     mem,
+		rec: epoch.New(nThreads, func(tid int, p uint64) {
+			mem.Free(tid, p)
+		}),
+		shards: make([]sync.Mutex, min(n, 4096)),
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (s *Store) shard(h uint64) *sync.Mutex {
+	return &s.shards[(h&s.mask)%uint64(len(s.shards))]
+}
+
+// hash is FNV-1a; good enough dispersion for the benchmark keyspaces.
+func hash(key []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Put inserts or replaces key's value. It returns an allocator error
+// (e.g. cxl-shm's size cap) unchanged, so the harness can record
+// unsupported configurations.
+func (s *Store) Put(tid int, key, val []byte) error {
+	p, err := s.mem.Alloc(tid, len(key)+len(val))
+	if err != nil {
+		return err
+	}
+	buf := s.mem.Bytes(tid, p, len(key)+len(val))
+	copy(buf, key)
+	copy(buf[len(key):], val)
+
+	h := hash(key)
+	n := &node{ptr: p, keyLen: int32(len(key)), valLen: int32(len(val)), hash: h}
+	b := &s.buckets[h&s.mask]
+
+	s.rec.Enter(tid)
+	for {
+		head := b.Load()
+		n.next.Store(head)
+		if b.CompareAndSwap(head, n) {
+			break
+		}
+	}
+	s.inserts.Add(1)
+	// Retire any older entry for the same key (replace semantics).
+	if s.removeAfter(tid, n, key, h) {
+		s.replaces.Add(1)
+	}
+	s.rec.Exit(tid)
+	return nil
+}
+
+// Get copies key's value into dst (growing it as needed) and reports
+// whether the key was found.
+func (s *Store) Get(tid int, key []byte, dst []byte) ([]byte, bool) {
+	h := hash(key)
+	s.rec.Enter(tid)
+	defer s.rec.Exit(tid)
+	for n := s.buckets[h&s.mask].Load(); n != nil; n = n.next.Load() {
+		if n.deleted.Load() || n.hash != h || int(n.keyLen) != len(key) {
+			continue
+		}
+		buf := s.mem.Bytes(tid, n.ptr, int(n.keyLen)+int(n.valLen))
+		if !bytes.Equal(buf[:n.keyLen], key) {
+			continue
+		}
+		s.mem.AccessHook(tid, n.ptr)
+		dst = append(dst[:0], buf[n.keyLen:]...)
+		s.hits.Add(1)
+		return dst, true
+	}
+	s.misses.Add(1)
+	return dst, false
+}
+
+// Delete removes key, reporting whether it was present.
+func (s *Store) Delete(tid int, key []byte) bool {
+	h := hash(key)
+	s.rec.Enter(tid)
+	defer s.rec.Exit(tid)
+	mu := s.shard(h)
+	mu.Lock()
+	defer mu.Unlock()
+	b := &s.buckets[h&s.mask]
+	for n := b.Load(); n != nil; n = n.next.Load() {
+		if n.deleted.Load() || n.hash != h || int(n.keyLen) != len(key) {
+			continue
+		}
+		buf := s.mem.Bytes(tid, n.ptr, int(n.keyLen))
+		if !bytes.Equal(buf, key) {
+			continue
+		}
+		n.deleted.Store(true)
+		s.unlink(tid, h, n)
+		s.deletes.Add(1)
+		return true
+	}
+	return false
+}
+
+// removeAfter logically deletes the first non-deleted duplicate of key
+// strictly after marker, retiring its allocation.
+func (s *Store) removeAfter(tid int, marker *node, key []byte, h uint64) bool {
+	mu := s.shard(h)
+	mu.Lock()
+	defer mu.Unlock()
+	for n := marker.next.Load(); n != nil; n = n.next.Load() {
+		if n.deleted.Load() || n.hash != h || int(n.keyLen) != len(key) {
+			continue
+		}
+		buf := s.mem.Bytes(tid, n.ptr, int(n.keyLen))
+		if !bytes.Equal(buf, key) {
+			continue
+		}
+		n.deleted.Store(true)
+		s.unlink(tid, h, n)
+		return true
+	}
+	return false
+}
+
+// unlink physically removes a logically deleted node and retires its
+// allocation. The caller holds the bucket's shard lock, so no other
+// unlink can run in this chain and victim.next is stable; only
+// lock-free head inserts race, handled by retrying the head CAS.
+func (s *Store) unlink(tid int, h uint64, victim *node) {
+	b := &s.buckets[h&s.mask]
+	next := victim.next.Load()
+	for {
+		var prev *node
+		n := b.Load()
+		for n != nil && n != victim {
+			prev = n
+			n = n.next.Load()
+		}
+		if n == nil {
+			// Not reachable: cannot happen with the shard lock held,
+			// since only lock holders unlink.
+			panic("kvstore: victim vanished while holding shard lock")
+		}
+		if prev != nil {
+			// Interior predecessors are stable under the shard lock.
+			if !prev.next.CompareAndSwap(victim, next) {
+				panic("kvstore: interior next changed under shard lock")
+			}
+			break
+		}
+		if b.CompareAndSwap(victim, next) {
+			break
+		}
+		// A concurrent head insert changed the bucket; retry.
+	}
+	s.rec.Retire(tid, victim.ptr)
+}
+
+// Stats is the store's operation accounting.
+type Stats struct {
+	Inserts, Replaces, Deletes, Hits, Misses, Reclaimed uint64
+}
+
+// Stats returns a snapshot.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Inserts:   s.inserts.Load(),
+		Replaces:  s.replaces.Load(),
+		Deletes:   s.deletes.Load(),
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Reclaimed: s.rec.Freed(),
+	}
+}
+
+// FreeOrphan returns an allocation that never got linked (a recovered
+// pending allocation) to the underlying allocator.
+func (s *Store) FreeOrphan(tid int, p alloc.Ptr) { s.mem.Free(tid, p) }
+
+// LivePtrs enumerates every live entry's allocation. Only safe at
+// quiescence; the Figure 7 harness uses it as the root set for ralloc's
+// recovery garbage collection.
+func (s *Store) LivePtrs() []alloc.Ptr {
+	var out []alloc.Ptr
+	for i := range s.buckets {
+		for n := s.buckets[i].Load(); n != nil; n = n.next.Load() {
+			if !n.deleted.Load() {
+				out = append(out, n.ptr)
+			}
+		}
+	}
+	return out
+}
+
+// Drain flushes every thread's deferred reclamations. Only safe at
+// quiescence; benchmarks call it before measuring memory.
+func (s *Store) Drain(nThreads int) {
+	for tid := 0; tid < nThreads; tid++ {
+		s.rec.TryAdvance(tid)
+		s.rec.TryAdvance(tid)
+		s.rec.TryAdvance(tid)
+		s.rec.Flush(tid)
+	}
+}

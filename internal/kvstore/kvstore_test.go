@@ -1,0 +1,186 @@
+package kvstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"cxlalloc/internal/alloc"
+	"cxlalloc/internal/baselines/mim"
+	"cxlalloc/internal/xrand"
+)
+
+func newStore(buckets, threads int) (*Store, alloc.Allocator) {
+	a := mim.New(256<<20, threads)
+	return New(a, buckets, threads), a
+}
+
+func TestPutGetDelete(t *testing.T) {
+	s, _ := newStore(1024, 2)
+	if err := s.Put(0, []byte("alpha"), []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := s.Get(0, []byte("alpha"), nil)
+	if !ok || string(v) != "one" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	if _, ok := s.Get(0, []byte("beta"), nil); ok {
+		t.Fatal("phantom key")
+	}
+	if !s.Delete(0, []byte("alpha")) {
+		t.Fatal("delete failed")
+	}
+	if _, ok := s.Get(0, []byte("alpha"), nil); ok {
+		t.Fatal("deleted key still visible")
+	}
+	if s.Delete(0, []byte("alpha")) {
+		t.Fatal("double delete reported success")
+	}
+	st := s.Stats()
+	if st.Inserts != 1 || st.Deletes != 1 || st.Hits != 1 || st.Misses != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestReplaceSemanticsReclaimOldValue(t *testing.T) {
+	s, _ := newStore(64, 1)
+	for i := 0; i < 100; i++ {
+		if err := s.Put(0, []byte("k"), []byte(fmt.Sprintf("v%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, ok := s.Get(0, []byte("k"), nil)
+	if !ok || string(v) != "v099" {
+		t.Fatalf("Get after replaces = %q", v)
+	}
+	if st := s.Stats(); st.Replaces != 99 {
+		t.Fatalf("replaces = %d, want 99", st.Replaces)
+	}
+	s.Drain(1)
+	if st := s.Stats(); st.Reclaimed != 99 {
+		t.Fatalf("reclaimed = %d, want 99 (old values leak)", st.Reclaimed)
+	}
+}
+
+func TestHashCollisionsInOneBucket(t *testing.T) {
+	s, _ := newStore(1, 1) // single bucket: everything collides
+	keys := make([][]byte, 50)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%02d", i))
+		if err := s.Put(0, keys[i], []byte(fmt.Sprintf("val-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, k := range keys {
+		v, ok := s.Get(0, k, nil)
+		if !ok || string(v) != fmt.Sprintf("val-%02d", i) {
+			t.Fatalf("key %s -> %q, %v", k, v, ok)
+		}
+	}
+	// Delete every other key; the rest must survive.
+	for i := 0; i < len(keys); i += 2 {
+		if !s.Delete(0, keys[i]) {
+			t.Fatalf("delete %s failed", keys[i])
+		}
+	}
+	for i, k := range keys {
+		_, ok := s.Get(0, k, nil)
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("key %s present=%v want %v", k, ok, want)
+		}
+	}
+}
+
+func TestLargeValues(t *testing.T) {
+	s, _ := newStore(64, 1)
+	val := make([]byte, 300<<10) // MC-12-style 300 KiB value
+	for i := range val {
+		val[i] = byte(i)
+	}
+	if err := s.Put(0, []byte("big"), val); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(0, []byte("big"), nil)
+	if !ok || len(got) != len(val) || got[12345] != val[12345] {
+		t.Fatal("large value corrupted")
+	}
+}
+
+func TestAllocatorErrorPropagates(t *testing.T) {
+	// cxl-shm-style cap: the store must surface the error.
+	a := mim.New(1<<20, 1) // tiny arena: OOM quickly
+	s := New(a, 16, 1)
+	var err error
+	for i := 0; i < 10000 && err == nil; i++ {
+		err = s.Put(0, []byte(fmt.Sprintf("k%d", i)), make([]byte, 1024))
+	}
+	if err == nil {
+		t.Fatal("no error from exhausted allocator")
+	}
+}
+
+func TestConcurrentMixedWorkload(t *testing.T) {
+	const threads = 4
+	s, _ := newStore(4096, threads)
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			rng := xrand.New(uint64(tid) * 77)
+			var val []byte
+			for i := 0; i < 5000; i++ {
+				k := []byte(fmt.Sprintf("key-%d", rng.Intn(500)))
+				switch rng.Intn(4) {
+				case 0:
+					if err := s.Put(tid, k, []byte(fmt.Sprintf("val-%d-%d", tid, i))); err != nil {
+						t.Errorf("put: %v", err)
+						return
+					}
+				case 1:
+					s.Delete(tid, k)
+				default:
+					var ok bool
+					val, ok = s.Get(tid, k, val)
+					if ok && len(val) == 0 {
+						t.Error("hit with empty value")
+						return
+					}
+				}
+			}
+		}(tid)
+	}
+	wg.Wait()
+	s.Drain(threads)
+	// Every surviving key reads back consistently.
+	var val []byte
+	for i := 0; i < 500; i++ {
+		k := []byte(fmt.Sprintf("key-%d", i))
+		if v, ok := s.Get(0, k, val); ok && len(v) == 0 {
+			t.Fatalf("key %s: empty value", k)
+		}
+	}
+}
+
+// Memory must be reclaimed under insert/delete churn: the allocator's
+// footprint stays bounded when the live set is constant.
+func TestChurnBoundedFootprint(t *testing.T) {
+	a := mim.New(256<<20, 2)
+	s := New(a, 1024, 2)
+	for i := 0; i < 200; i++ {
+		s.Put(0, []byte(fmt.Sprintf("k%d", i)), make([]byte, 900))
+	}
+	base := a.Footprint().PSS()
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 200; i++ {
+			k := []byte(fmt.Sprintf("k%d", i))
+			s.Delete(1, k) // remote-ish frees via reclamation
+			s.Put(0, k, make([]byte, 900))
+		}
+	}
+	s.Drain(2)
+	grown := a.Footprint().PSS()
+	if grown > base*4+(8<<20) {
+		t.Fatalf("footprint grew %d -> %d under constant live set", base, grown)
+	}
+}

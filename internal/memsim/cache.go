@@ -1,0 +1,188 @@
+package memsim
+
+// LineWords is the number of 64-bit words per cache line (64 bytes, the
+// x86 line size the paper's flush/fence reasoning assumes).
+const LineWords = 8
+
+// Cache is one simulated core-private CPU cache over the device's SWcc
+// region. The paper assumes threads are pinned to cores (§3.2.2), so
+// each simulated thread owns exactly one Cache and no two threads share
+// one. A Cache is therefore not safe for concurrent use.
+//
+// Semantics:
+//
+//   - Load returns the cached copy if the line is resident, otherwise it
+//     fetches the line from device memory. A resident line can be
+//     arbitrarily stale — that is the point of the simulation.
+//   - Store writes into the cached line (write-allocate, write-back) and
+//     marks the word dirty. Nothing reaches device memory until Flush.
+//   - Flush writes back only the dirty words of the line and evicts it.
+//     Writing back whole lines would fabricate coherence bugs that real
+//     hardware does not have (two cores never hold the same line dirty
+//     in a real MESI system; in our model they can hold copies, so we
+//     must not let a clean word clobber another thread's flushed update).
+//   - Fence is an ordering marker. Device words are accessed atomically,
+//     so the Go runtime already provides the ordering; Fence exists so
+//     the allocator code documents and counts its fences exactly where
+//     the paper requires them.
+//
+// When the device is configured Coherent, all operations bypass the
+// cache and hit memory directly; Flush and Fence become no-ops. The
+// allocator code is identical in both modes, matching the paper's claim
+// that cxlalloc "remains correct if there is full HWcc".
+type Cache struct {
+	dev   *Device
+	lines map[int]*cacheLine
+	stats CacheStats
+}
+
+type cacheLine struct {
+	words [LineWords]uint64
+	dirty uint8 // bitmask: bit i set => words[i] modified locally
+}
+
+// CacheStats counts coherence-relevant events; the benchmarks report
+// them to show where the SWcc protocol pays its costs.
+type CacheStats struct {
+	Loads      uint64 // loads served (hit or miss)
+	Hits       uint64 // loads served from a resident line
+	Stores     uint64
+	Fetches    uint64 // lines fetched from device memory
+	Writebacks uint64 // lines written back to device memory
+	Flushes    uint64 // explicit Flush calls
+	Fences     uint64
+}
+
+// NewCache returns an empty cache over the device's SWcc region.
+func (d *Device) NewCache() *Cache {
+	return &Cache{dev: d, lines: make(map[int]*cacheLine)}
+}
+
+// Stats returns a copy of the event counters.
+func (c *Cache) Stats() CacheStats { return c.stats }
+
+func (c *Cache) line(w int) (*cacheLine, int) {
+	idx := w / LineWords
+	l := c.lines[idx]
+	if l == nil {
+		l = &cacheLine{}
+		base := idx * LineWords
+		for i := 0; i < LineWords; i++ {
+			l.words[i] = c.dev.swccLoad(base + i)
+		}
+		c.lines[idx] = l
+		c.stats.Fetches++
+	} else {
+		c.stats.Hits++
+	}
+	return l, w % LineWords
+}
+
+// Load returns SWcc word w, possibly from a stale cached line.
+func (c *Cache) Load(w int) uint64 {
+	c.stats.Loads++
+	if c.dev.cfg.Coherent {
+		return c.dev.swccLoad(w)
+	}
+	l, i := c.line(w)
+	return l.words[i]
+}
+
+// Store writes v to SWcc word w in this thread's cache only.
+func (c *Cache) Store(w int, v uint64) {
+	c.stats.Stores++
+	if c.dev.cfg.Coherent {
+		c.dev.swccStore(w, v)
+		return
+	}
+	l, i := c.line(w)
+	l.words[i] = v
+	l.dirty |= 1 << uint(i)
+}
+
+// LoadFresh invalidates the line containing w (writing back any dirty
+// words first, so the caller cannot lose its own updates) and then loads
+// w from device memory. This is the paper's "flush and fence before each
+// load" pattern for reading another thread's published metadata.
+func (c *Cache) LoadFresh(w int) uint64 {
+	if c.dev.cfg.Coherent {
+		c.stats.Loads++
+		return c.dev.swccLoad(w)
+	}
+	c.Flush(w)
+	return c.Load(w)
+}
+
+// Flush writes back the dirty words of the line containing w and evicts
+// the line. Flushing a non-resident line is a no-op (like CLFLUSH of an
+// uncached address).
+func (c *Cache) Flush(w int) {
+	c.stats.Flushes++
+	if c.dev.cfg.Coherent {
+		return
+	}
+	idx := w / LineWords
+	l := c.lines[idx]
+	if l == nil {
+		return
+	}
+	c.writeback(idx, l)
+	delete(c.lines, idx)
+}
+
+// FlushRange flushes every line intersecting words [w, w+n).
+func (c *Cache) FlushRange(w, n int) {
+	if n <= 0 {
+		return
+	}
+	first := w / LineWords
+	last := (w + n - 1) / LineWords
+	for idx := first; idx <= last; idx++ {
+		c.Flush(idx * LineWords)
+	}
+}
+
+// Fence orders prior flushes before subsequent operations. In the
+// simulator the underlying stores are already sequentially consistent,
+// so Fence only records that the protocol required a fence here.
+func (c *Cache) Fence() {
+	c.stats.Fences++
+}
+
+func (c *Cache) writeback(idx int, l *cacheLine) {
+	if l.dirty == 0 {
+		return
+	}
+	base := idx * LineWords
+	for i := 0; i < LineWords; i++ {
+		if l.dirty&(1<<uint(i)) != 0 {
+			c.dev.swccStore(base+i, l.words[i])
+		}
+	}
+	l.dirty = 0
+	c.stats.Writebacks++
+}
+
+// WritebackAll writes back every dirty line but keeps lines resident.
+// It models a thread crash where the host survives: the core's cache
+// eventually drains to memory even though the thread is gone.
+func (c *Cache) WritebackAll() {
+	for idx, l := range c.lines {
+		c.writeback(idx, l)
+	}
+}
+
+// DiscardAll drops every line, losing dirty data. It models the harsher
+// failure where cached state is gone (host reboot), and is also used
+// when a recovered thread must start cold so it cannot observe its own
+// pre-crash stale lines.
+func (c *Cache) DiscardAll() {
+	c.lines = make(map[int]*cacheLine)
+}
+
+// Resident reports whether the line containing w is cached. Tests use it
+// to assert protocol steps evicted what they must.
+func (c *Cache) Resident(w int) bool {
+	_, ok := c.lines[w/LineWords]
+	return ok
+}

@@ -1,0 +1,123 @@
+// Package memsim simulates the shared CXL memory device at the center of
+// a CXL pod (paper §2.1, Figure 1).
+//
+// The device exposes three regions, mirroring cxlalloc's memory layout
+// (Figure 2):
+//
+//   - HWcc region: 64-bit words that are always coherent. On hardware
+//     this is either a hardware-cache-coherent region (Figure 1(A)) or
+//     the device-biased, NMP-managed region used for mCAS (Figure 1(B)).
+//     Access goes through sync/atomic, so every thread in the pod sees a
+//     single serialization order — exactly the guarantee HWcc (or the
+//     NMP) provides.
+//
+//   - SWcc region: 64-bit words that are NOT coherent across threads.
+//     Each simulated thread accesses the region through its own
+//     write-back Cache (cache.go); a store stays invisible to other
+//     threads until the owner flushes the line, and a load can return a
+//     stale cached copy until the line is invalidated. This reproduces
+//     the failure modes cxlalloc's SWcc protocol (§3.2.2) must handle.
+//
+//   - Data region: plain bytes holding application data. Coherence of
+//     application data is the application's concern (as on hardware);
+//     the simulator provides raw access, and the vas package layers
+//     per-process mapping checks on top.
+//
+// The device itself is reliable (paper's failure model, §2.1): it retains
+// all state while threads crash, because it is just memory owned by the
+// simulator, never by any simulated thread.
+package memsim
+
+import "sync/atomic"
+
+// Config sizes the device regions.
+type Config struct {
+	// HWccWords is the number of 64-bit words in the HWcc region.
+	HWccWords int
+	// SWccWords is the number of 64-bit words in the SWcc region.
+	SWccWords int
+	// DataBytes is the size of the data region in bytes.
+	DataBytes int
+	// Coherent disables the SWcc cache simulation: loads and stores hit
+	// memory directly and flushes are no-ops. This models full HWcc
+	// (or a single host using local DRAM), the paper's "cxlalloc remains
+	// correct if there is full HWcc" case.
+	Coherent bool
+}
+
+// Device is one multi-headed CXL memory device shared by every simulated
+// process and thread in the pod.
+type Device struct {
+	cfg  Config
+	hwcc []uint64
+	swcc []uint64
+	data []byte
+}
+
+// NewDevice allocates a device with all regions zeroed. Zeroed memory is
+// a valid, initialized cxlalloc heap (paper §4 "Heap initialization"),
+// so no further setup is required before processes attach.
+func NewDevice(cfg Config) *Device {
+	if cfg.HWccWords < 0 || cfg.SWccWords < 0 || cfg.DataBytes < 0 {
+		panic("memsim: negative region size")
+	}
+	return &Device{
+		cfg:  cfg,
+		hwcc: make([]uint64, cfg.HWccWords),
+		swcc: make([]uint64, cfg.SWccWords),
+		data: make([]byte, cfg.DataBytes),
+	}
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// HWccLoad atomically loads HWcc word w.
+func (d *Device) HWccLoad(w int) uint64 {
+	return atomic.LoadUint64(&d.hwcc[w])
+}
+
+// HWccStore atomically stores v into HWcc word w.
+func (d *Device) HWccStore(w int, v uint64) {
+	atomic.StoreUint64(&d.hwcc[w], v)
+}
+
+// HWccCAS performs a compare-and-swap on HWcc word w. This is the raw
+// coherent primitive; mode-dependent behaviour (sw_cas, sw_flush_cas,
+// mCAS) is layered on top by internal/atomicx.
+func (d *Device) HWccCAS(w int, old, new uint64) bool {
+	return atomic.CompareAndSwapUint64(&d.hwcc[w], old, new)
+}
+
+// HWccAdd atomically adds delta to HWcc word w and returns the new value.
+func (d *Device) HWccAdd(w int, delta uint64) uint64 {
+	return atomic.AddUint64(&d.hwcc[w], delta)
+}
+
+// swccLoad atomically loads SWcc word w from memory (not from any cache).
+// Exported to this package only; threads use a Cache.
+func (d *Device) swccLoad(w int) uint64 {
+	return atomic.LoadUint64(&d.swcc[w])
+}
+
+func (d *Device) swccStore(w int, v uint64) {
+	atomic.StoreUint64(&d.swcc[w], v)
+}
+
+// Data returns the raw data region. Offsets into this slice are the
+// stable "offset pointers" shared across simulated processes (PC-S holds
+// by construction; PC-T is enforced by internal/vas page mappings).
+func (d *Device) Data() []byte { return d.data }
+
+// Zero re-zeroes every region. Used by tests that reuse a device.
+func (d *Device) Zero() {
+	for i := range d.hwcc {
+		atomic.StoreUint64(&d.hwcc[i], 0)
+	}
+	for i := range d.swcc {
+		atomic.StoreUint64(&d.swcc[i], 0)
+	}
+	for i := range d.data {
+		d.data[i] = 0
+	}
+}

@@ -1,0 +1,179 @@
+// Package nmp simulates the near-memory-processing logic the paper
+// prototypes in the Intel Agilex 7 FPGA (§4, Figure 6). The NMP sits in
+// front of the device-biased region of CXL memory and provides a
+// memory-based compare-and-swap (mCAS) for pods whose hardware has no
+// inter-host cache coherence.
+//
+// Interface contract reproduced from the paper:
+//
+//   - To initiate an mCAS, a thread performs a "special write" (spwr) of
+//     its operands — expected value, swap value, target address — to a
+//     per-thread cache line in the spwr region.
+//   - To retrieve the response, the thread performs a "special read"
+//     (sprd) from its per-thread line in the sprd region, which triggers
+//     the operation and returns a success bit plus the previous value.
+//   - At the end of each sprd, the unit checks its register array for any
+//     other in-progress spwr/sprd pair with a matching target address and
+//     fails the competing operation (Figure 6(b)).
+//   - On success, subsequent operations are stalled until the swap value
+//     has been written to memory — for a given address only one
+//     spwr/sprd pair is ever in progress.
+//
+// The target region must never be CPU-cached (the paper marks it
+// uncachable via MTRRs); in the simulator the targets are HWcc-region
+// words, which are uncached by construction.
+package nmp
+
+import (
+	"fmt"
+	"sync"
+
+	"cxlalloc/internal/memsim"
+)
+
+// MaxThreads is the size of the unit's register array: one spwr/sprd
+// register pair per hardware thread, addressed by thread ID, mirroring
+// the per-thread cache lines of the FPGA prototype.
+const MaxThreads = 512
+
+type pending struct {
+	addr     int // HWcc word index (the device-biased target)
+	expect   uint64
+	swap     uint64
+	inFlight bool // spwr issued, sprd not yet completed
+	failed   bool // a competing op committed to the same address
+}
+
+// Stats counts NMP activity for the evaluation.
+type Stats struct {
+	SpWrs     uint64
+	SpRds     uint64
+	Successes uint64
+	Failures  uint64
+	Conflicts uint64 // operations failed by the same-address check
+}
+
+// Unit is one NMP instance managing the device-biased region of a
+// device. All methods are safe for concurrent use; internally the unit
+// serializes commits, which is exactly the serialization the hardware
+// provides and the source of mCAS's atomicity.
+type Unit struct {
+	dev *memsim.Device
+	lat *memsim.Latency
+
+	mu    sync.Mutex
+	regs  [MaxThreads]pending
+	stats Stats
+}
+
+// New returns a unit managing dev's HWcc (device-biased) words, with
+// latencies drawn from lat (which may be nil or disabled).
+func New(dev *memsim.Device, lat *memsim.Latency) *Unit {
+	return &Unit{dev: dev, lat: lat}
+}
+
+// inject applies one latency component if a model is attached.
+func (u *Unit) inject(f func(*memsim.Latency)) {
+	if u.lat != nil {
+		f(u.lat)
+	}
+}
+
+// SpWr stores the operand triple into thread tid's register, beginning
+// an mCAS of word addr from expect to swap. Issuing a second SpWr before
+// reading the result of the first abandons the first operation, as a
+// second uncached write to the same spwr line would on hardware.
+func (u *Unit) SpWr(tid int, addr int, expect, swap uint64) {
+	if tid < 0 || tid >= MaxThreads {
+		panic(fmt.Sprintf("nmp: thread ID %d out of range", tid))
+	}
+	u.inject(func(l *memsim.Latency) { l.Inject(l.MCASSpWr) })
+	u.mu.Lock()
+	u.regs[tid] = pending{addr: addr, expect: expect, swap: swap, inFlight: true}
+	u.stats.SpWrs++
+	u.mu.Unlock()
+}
+
+// SpRd triggers thread tid's pending mCAS and returns the previous value
+// at the target together with the success bit. Calling SpRd with no
+// pending SpWr panics: it corresponds to reading a response line with no
+// operation outstanding, a software bug.
+func (u *Unit) SpRd(tid int) (old uint64, ok bool) {
+	u.inject(func(l *memsim.Latency) { l.Inject(l.MCASSpRd) })
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	p := &u.regs[tid]
+	if !p.inFlight {
+		panic(fmt.Sprintf("nmp: SpRd from thread %d with no pending SpWr", tid))
+	}
+	u.stats.SpRds++
+	// The unit is busy for the duration of the compare (+ write on
+	// success); holding the mutex while spinning models the serialized
+	// service pipeline of the hardware unit.
+	u.inject(func(l *memsim.Latency) { l.Inject(l.MCASService) })
+
+	p.inFlight = false
+	if p.failed {
+		// A competing spwr/sprd pair to the same address committed while
+		// this operation was in progress (Figure 6(b), T2-N).
+		u.stats.Failures++
+		u.stats.Conflicts++
+		return u.dev.HWccLoad(p.addr), false
+	}
+	old = u.dev.HWccLoad(p.addr)
+	if old != p.expect {
+		u.stats.Failures++
+		u.failCompeting(tid, p.addr)
+		return old, false
+	}
+	u.dev.HWccStore(p.addr, p.swap)
+	u.stats.Successes++
+	u.failCompeting(tid, p.addr)
+	return old, true
+}
+
+// failCompeting implements the end-of-sprd register-array scan: any
+// other in-flight operation targeting addr is marked failed.
+func (u *Unit) failCompeting(tid, addr int) {
+	for i := range u.regs {
+		if i == tid {
+			continue
+		}
+		if u.regs[i].inFlight && u.regs[i].addr == addr {
+			u.regs[i].failed = true
+		}
+	}
+}
+
+// MCAS performs a full spwr/sprd pair: compare word addr against expect
+// and, on match, write swap. It returns the previous value and whether
+// the swap was performed. This is the primitive cxlalloc substitutes for
+// CAS on pods with no HWcc.
+func (u *Unit) MCAS(tid int, addr int, expect, swap uint64) (old uint64, ok bool) {
+	u.SpWr(tid, addr, expect, swap)
+	return u.SpRd(tid)
+}
+
+// Load performs an uncached read of device-biased word addr through the
+// NMP data path.
+func (u *Unit) Load(tid int, addr int) uint64 {
+	u.inject(func(l *memsim.Latency) { l.Inject(l.CXLLoad) })
+	return u.dev.HWccLoad(addr)
+}
+
+// Store performs an uncached write of device-biased word addr through
+// the NMP data path. Plain stores do not participate in mCAS conflict
+// detection (as on the prototype, where only spwr/sprd pairs are
+// serialized); software must not mix plain stores and mCAS on the same
+// word concurrently.
+func (u *Unit) Store(tid int, addr int, v uint64) {
+	u.inject(func(l *memsim.Latency) { l.Inject(l.CXLStore) })
+	u.dev.HWccStore(addr, v)
+}
+
+// Stats returns a snapshot of the unit's counters.
+func (u *Unit) Stats() Stats {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.stats
+}

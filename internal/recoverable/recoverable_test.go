@@ -1,0 +1,119 @@
+package recoverable
+
+import (
+	"sync"
+	"testing"
+
+	"cxlalloc/internal/baselines/mim"
+	"cxlalloc/internal/xrand"
+)
+
+func TestQueueInsertRemove(t *testing.T) {
+	a := mim.New(64<<20, 4)
+	q := NewQueue(a)
+	rng := xrand.New(1)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if err := q.Insert(i%4, i, rng.IntRange(8, 1024)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q.Len() != n {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	if got := len(q.Live()); got != n {
+		t.Fatalf("Live = %d", got)
+	}
+	if removed := q.RemoveAll(0); removed != n {
+		t.Fatalf("RemoveAll = %d", removed)
+	}
+	if q.Len() != 0 {
+		t.Fatal("queue not empty")
+	}
+}
+
+func TestQueueAdopt(t *testing.T) {
+	a := mim.New(4<<20, 1)
+	q := NewQueue(a)
+	p, _ := a.Alloc(0, 64)
+	q.Adopt(0, p)
+	if q.Len() != 1 {
+		t.Fatal("adopted element not linked")
+	}
+	if q.RemoveAll(0) != 1 {
+		t.Fatal("adopted element not removable")
+	}
+}
+
+func TestMapInsertRemove(t *testing.T) {
+	a := mim.New(64<<20, 4)
+	m := NewMap(a, 1024, 4)
+	rng := xrand.New(2)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if err := m.Insert(i%4, i, rng.IntRange(8, 1024)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.Len(); got != n {
+		t.Fatalf("Len = %d", got)
+	}
+	if removed := m.RemoveAll(0); removed != n {
+		t.Fatalf("RemoveAll = %d", removed)
+	}
+	if m.Len() != 0 {
+		t.Fatal("map not empty")
+	}
+}
+
+func TestMapAdoptFreesOrphan(t *testing.T) {
+	a := mim.New(4<<20, 1)
+	m := NewMap(a, 64, 1)
+	p, _ := a.Alloc(0, 64)
+	base := a.Footprint().PSS()
+	m.Adopt(0, p) // freed back, not linked
+	if m.Len() != 0 {
+		t.Fatal("orphan linked into map")
+	}
+	// Reallocating must reuse the freed block.
+	p2, _ := a.Alloc(0, 64)
+	if p2 != p {
+		t.Fatalf("orphan not freed: %#x vs %#x", p, p2)
+	}
+	_ = base
+}
+
+func TestConcurrentInserts(t *testing.T) {
+	a := mim.New(128<<20, 8)
+	for name, s := range map[string]Structure{
+		"queue": NewQueue(a),
+		"map":   NewMap(a, 4096, 8),
+	} {
+		t.Run(name, func(t *testing.T) {
+			const threads = 4
+			const per = 500
+			var wg sync.WaitGroup
+			for tid := 0; tid < threads; tid++ {
+				wg.Add(1)
+				go func(tid int) {
+					defer wg.Done()
+					rng := xrand.New(uint64(tid))
+					for i := 0; i < per; i++ {
+						idx := tid*per + i
+						if err := s.Insert(tid, idx, rng.IntRange(9, 1024)); err != nil {
+							t.Errorf("insert %d: %v", idx, err)
+							return
+						}
+					}
+				}(tid)
+			}
+			wg.Wait()
+			if got := s.Len(); got != threads*per {
+				t.Fatalf("Len = %d, want %d", got, threads*per)
+			}
+			if got := s.RemoveAll(0); got != threads*per {
+				t.Fatalf("RemoveAll = %d", got)
+			}
+		})
+	}
+}

@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestSummarizeBasic(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 {
+		t.Fatalf("mean = %v (n=%d), want 5 (n=8)", s.Mean, s.N)
+	}
+	// Sample stddev of this classic sequence is sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(s.Stddev-want) > 1e-12 {
+		t.Fatalf("stddev = %v, want %v", s.Stddev, want)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+}
+
+func TestSummarizeEdge(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	s := Summarize([]float64{3})
+	if s.N != 1 || s.Mean != 3 || s.Stddev != 0 {
+		t.Fatalf("single summary = %+v", s)
+	}
+}
+
+func TestLatencyPercentiles(t *testing.T) {
+	var samples []time.Duration
+	for i := 1; i <= 1000; i++ {
+		samples = append(samples, time.Duration(i)*time.Microsecond)
+	}
+	p := LatencyPercentiles(samples)
+	if p.P50 < 490*time.Microsecond || p.P50 > 510*time.Microsecond {
+		t.Fatalf("p50 = %v", p.P50)
+	}
+	if p.P99 < 985*time.Microsecond || p.P99 > 995*time.Microsecond {
+		t.Fatalf("p99 = %v", p.P99)
+	}
+	if p.P999 < p.P99 || p.P99 < p.P90 || p.P90 < p.P50 {
+		t.Fatalf("percentiles not monotone: %+v", p)
+	}
+	if p.Count != 1000 {
+		t.Fatalf("count = %d", p.Count)
+	}
+}
+
+func TestLatencyPercentilesUnsortedInput(t *testing.T) {
+	samples := []time.Duration{5, 1, 4, 2, 3}
+	p := LatencyPercentiles(samples)
+	if p.P50 != 3 {
+		t.Fatalf("p50 = %v, want 3", p.P50)
+	}
+}
+
+func TestLatencyPercentilesEmpty(t *testing.T) {
+	if p := LatencyPercentiles(nil); p.Count != 0 || p.P999 != 0 {
+		t.Fatalf("empty percentiles = %+v", p)
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if got := Throughput(1000, time.Second); got != 1000 {
+		t.Fatalf("Throughput = %v", got)
+	}
+	if got := Throughput(500, 2*time.Second); got != 250 {
+		t.Fatalf("Throughput = %v", got)
+	}
+	if got := Throughput(10, 0); got != 0 {
+		t.Fatalf("Throughput with zero elapsed = %v", got)
+	}
+}

@@ -1,0 +1,216 @@
+// Package vas simulates per-process virtual address spaces over the
+// shared device data region, providing the machinery behind cxlalloc's
+// pointer-consistency guarantees (paper §3.3).
+//
+// On real hardware, each process mmaps pieces of the CXL device into its
+// own address space. Two hazards follow (paper §1): concurrent mmaps in
+// different processes may land at overlapping addresses (breaking PC-S),
+// and a mapping created in one process is invisible to the others until
+// they install it too (breaking PC-T). cxlalloc solves PC-S with offset
+// pointers plus per-process virtual-address-space reservations, and PC-T
+// with a SIGSEGV handler that installs missing mappings on demand.
+//
+// The simulator mirrors that structure: a Space is one process's page
+// table over the data region. Offsets are the shared pointers (PC-S is
+// then a property we *test*, not assume: every Space sees the same bytes
+// at the same offset). A page is accessible only after the Space
+// installs a mapping for it; touching an unmapped page raises a
+// simulated SIGSEGV, which invokes the process's fault handler — the
+// signal handler of §3.3 — which consults allocator metadata and either
+// installs the mapping and resumes, or lets the fault propagate as a
+// real segfault (a program bug).
+package vas
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"cxlalloc/internal/memsim"
+)
+
+// SegFault is the panic value raised when an access faults and the fault
+// handler declines to map the page — the simulated equivalent of the
+// default SIGSEGV disposition.
+type SegFault struct {
+	Space int
+	Off   uint64
+}
+
+func (e *SegFault) Error() string {
+	return fmt.Sprintf("vas: segmentation fault in process %d at offset %#x", e.Space, e.Off)
+}
+
+// FaultHandler is a process's SIGSEGV handler. It receives the faulting
+// thread, the Space, and the page index, and returns true if it
+// installed a mapping (the faulting access is then retried).
+type FaultHandler func(tid int, s *Space, page uint64) bool
+
+// Stats counts mapping activity per process.
+type Stats struct {
+	Faults   uint64 // handler invocations that installed a mapping
+	Installs uint64 // pages installed (directly or via handler)
+	Unmaps   uint64 // pages unmapped
+}
+
+// Space is one simulated process's view of the device data region.
+// Mapped/Install/Unmap/Resolve are safe for concurrent use by the
+// process's threads; SetHandler must be called before the space is
+// shared.
+type Space struct {
+	id       int
+	dev      *memsim.Device
+	pageSize uint64
+	npages   uint64
+	mapped   []uint64 // atomic bitmap, bit per page
+	handler  FaultHandler
+
+	faults   atomic.Uint64
+	installs atomic.Uint64
+	unmaps   atomic.Uint64
+}
+
+// NewSpace returns a space over dev's data region with the given page
+// size (bytes, power of two).
+func NewSpace(id int, dev *memsim.Device, pageSize int) *Space {
+	if pageSize <= 0 || pageSize&(pageSize-1) != 0 {
+		panic("vas: page size must be a positive power of two")
+	}
+	n := (uint64(len(dev.Data())) + uint64(pageSize) - 1) / uint64(pageSize)
+	return &Space{
+		id:       id,
+		dev:      dev,
+		pageSize: uint64(pageSize),
+		npages:   n,
+		mapped:   make([]uint64, (n+63)/64),
+	}
+}
+
+// ID returns the process ID of this space.
+func (s *Space) ID() int { return s.id }
+
+// PageSize returns the page size in bytes.
+func (s *Space) PageSize() uint64 { return s.pageSize }
+
+// SetHandler installs the process's SIGSEGV handler.
+func (s *Space) SetHandler(h FaultHandler) { s.handler = h }
+
+// Stats returns a snapshot of the mapping counters.
+func (s *Space) Stats() Stats {
+	return Stats{
+		Faults:   s.faults.Load(),
+		Installs: s.installs.Load(),
+		Unmaps:   s.unmaps.Load(),
+	}
+}
+
+// Mapped reports whether page is installed in this space.
+func (s *Space) Mapped(page uint64) bool {
+	if page >= s.npages {
+		return false
+	}
+	return atomic.LoadUint64(&s.mapped[page/64])&(1<<(page%64)) != 0
+}
+
+// MappedRange reports whether every page covering [off, off+n) is
+// installed.
+func (s *Space) MappedRange(off, n uint64) bool {
+	if n == 0 {
+		n = 1
+	}
+	for p := off / s.pageSize; p <= (off+n-1)/s.pageSize; p++ {
+		if !s.Mapped(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// Install maps every page covering [off, off+n) into this space, like a
+// MAP_FIXED mmap at a reserved offset. Installing an already-mapped page
+// is a no-op (mappings are idempotent, which recovery relies on).
+func (s *Space) Install(off, n uint64) {
+	if n == 0 {
+		return
+	}
+	s.checkRange(off, n)
+	for p := off / s.pageSize; p <= (off+n-1)/s.pageSize; p++ {
+		w, b := p/64, uint64(1)<<(p%64)
+		if atomic.LoadUint64(&s.mapped[w])&b != 0 {
+			continue
+		}
+		for {
+			old := atomic.LoadUint64(&s.mapped[w])
+			if old&b != 0 {
+				break
+			}
+			if atomic.CompareAndSwapUint64(&s.mapped[w], old, old|b) {
+				s.installs.Add(1)
+				break
+			}
+		}
+	}
+}
+
+// Unmap removes the mappings covering [off, off+n), like munmap. A
+// subsequent access faults again.
+func (s *Space) Unmap(off, n uint64) {
+	if n == 0 {
+		return
+	}
+	s.checkRange(off, n)
+	for p := off / s.pageSize; p <= (off+n-1)/s.pageSize; p++ {
+		w, b := p/64, uint64(1)<<(p%64)
+		for {
+			old := atomic.LoadUint64(&s.mapped[w])
+			if old&b == 0 {
+				break
+			}
+			if atomic.CompareAndSwapUint64(&s.mapped[w], old, old&^b) {
+				s.unmaps.Add(1)
+				break
+			}
+		}
+	}
+}
+
+// Resolve returns the bytes at [off, off+n) after ensuring every covered
+// page is mapped in this space. An unmapped page raises the simulated
+// SIGSEGV: the handler runs and, if it maps the page, the access
+// continues; otherwise Resolve panics with *SegFault. This is the only
+// way simulated threads touch application data, so PC-T violations
+// surface deterministically instead of as wild reads.
+func (s *Space) Resolve(tid int, off, n uint64) []byte {
+	if n == 0 {
+		return nil
+	}
+	s.checkRange(off, n)
+	first := off / s.pageSize
+	last := (off + n - 1) / s.pageSize
+	// Fast path: small accesses span one or two pages, both mapped.
+	if s.Mapped(first) && (last == first || s.Mapped(last)) && last-first <= 1 {
+		return s.dev.Data()[off : off+n : off+n]
+	}
+	for p := first; p <= last; p++ {
+		for !s.Mapped(p) {
+			if s.handler == nil || !s.handler(tid, s, p) {
+				panic(&SegFault{Space: s.id, Off: p * s.pageSize})
+			}
+			s.faults.Add(1)
+		}
+	}
+	return s.dev.Data()[off : off+n : off+n]
+}
+
+// Touch is Resolve without materializing the byte slice.
+func (s *Space) Touch(tid int, off, n uint64) {
+	if n == 0 {
+		return
+	}
+	s.Resolve(tid, off, n)
+}
+
+func (s *Space) checkRange(off, n uint64) {
+	if off+n < off || off+n > uint64(len(s.dev.Data())) {
+		panic(&SegFault{Space: s.id, Off: off})
+	}
+}

@@ -1,0 +1,205 @@
+package vas
+
+import (
+	"sync"
+	"testing"
+
+	"cxlalloc/internal/memsim"
+)
+
+func newSpace(id int) (*memsim.Device, *Space) {
+	dev := memsim.NewDevice(memsim.Config{DataBytes: 1 << 16}) // 64 KiB, 16 pages
+	return dev, NewSpace(id, dev, 4096)
+}
+
+func expectSegfault(t *testing.T, f func()) *SegFault {
+	t.Helper()
+	var got *SegFault
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("expected SegFault panic")
+			}
+			sf, ok := r.(*SegFault)
+			if !ok {
+				panic(r)
+			}
+			got = sf
+		}()
+		f()
+	}()
+	return got
+}
+
+func TestUnmappedAccessFaults(t *testing.T) {
+	_, s := newSpace(1)
+	sf := expectSegfault(t, func() { s.Resolve(0, 100, 8) })
+	if sf.Space != 1 {
+		t.Fatalf("fault space = %d", sf.Space)
+	}
+	if sf.Error() == "" {
+		t.Fatal("empty error string")
+	}
+}
+
+func TestInstallThenResolve(t *testing.T) {
+	dev, s := newSpace(0)
+	s.Install(4096, 8192)
+	b := s.Resolve(0, 5000, 16)
+	if len(b) != 16 {
+		t.Fatalf("len = %d", len(b))
+	}
+	b[0] = 42
+	if dev.Data()[5000] != 42 {
+		t.Fatal("Resolve view not backed by device data")
+	}
+	// Offsets are stable across spaces (PC-S): another process mapping
+	// the same page sees the same bytes at the same offset.
+	s2 := NewSpace(2, dev, 4096)
+	s2.Install(4096, 8192)
+	if s2.Resolve(0, 5000, 1)[0] != 42 {
+		t.Fatal("PC-S violated: different bytes at same offset")
+	}
+}
+
+func TestResolveSpanningPages(t *testing.T) {
+	_, s := newSpace(0)
+	s.Install(0, 4096) // page 0 only
+	expectSegfault(t, func() { s.Resolve(0, 4090, 16) })
+	s.Install(4096, 1) // page 1
+	if got := len(s.Resolve(0, 4090, 16)); got != 16 {
+		t.Fatalf("len = %d", got)
+	}
+	// A wide access spanning many pages.
+	s.Install(0, 1<<16)
+	if got := len(s.Resolve(0, 0, 1<<16)); got != 1<<16 {
+		t.Fatalf("len = %d", got)
+	}
+}
+
+func TestUnmapFaultsAgain(t *testing.T) {
+	_, s := newSpace(0)
+	s.Install(0, 8192)
+	s.Resolve(0, 0, 8192)
+	s.Unmap(4096, 4096)
+	s.Resolve(0, 0, 4096) // page 0 still fine
+	expectSegfault(t, func() { s.Resolve(0, 4096, 1) })
+	st := s.Stats()
+	if st.Installs != 2 || st.Unmaps != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// The signal-handler path: a fault handler that installs mappings on
+// demand provides PC-T (a pointer minted in one process is dereferencable
+// in another, after a transparent fault).
+func TestFaultHandlerInstalls(t *testing.T) {
+	dev, _ := newSpace(0)
+	producer := NewSpace(1, dev, 4096)
+	consumer := NewSpace(2, dev, 4096)
+	consumer.SetHandler(func(tid int, s *Space, page uint64) bool {
+		// The real handler consults heap metadata; here every page below
+		// 8 is "within the heap".
+		if page < 8 {
+			s.Install(page*4096, 4096)
+			return true
+		}
+		return false
+	})
+	producer.Install(0, 4096)
+	producer.Resolve(0, 128, 8)[0] = 7
+	// Consumer never installed anything; the handler does it on fault.
+	if got := consumer.Resolve(3, 128, 8)[0]; got != 7 {
+		t.Fatalf("cross-process read = %d", got)
+	}
+	if consumer.Stats().Faults == 0 {
+		t.Fatal("handler path not exercised")
+	}
+	// Outside the "heap", the handler declines and the fault is fatal.
+	expectSegfault(t, func() { consumer.Resolve(3, 9*4096, 1) })
+}
+
+func TestOutOfRangeAccessFaults(t *testing.T) {
+	_, s := newSpace(0)
+	expectSegfault(t, func() { s.Resolve(0, 1<<16, 1) })
+	expectSegfault(t, func() { s.Install(1<<16, 4096) })
+	expectSegfault(t, func() { s.Resolve(0, ^uint64(0)-1, 10) }) // overflow
+}
+
+func TestZeroLengthOps(t *testing.T) {
+	_, s := newSpace(0)
+	if b := s.Resolve(0, 100, 0); b != nil {
+		t.Fatal("zero-length resolve returned bytes")
+	}
+	s.Install(0, 0)
+	s.Unmap(0, 0)
+	s.Touch(0, 0, 0)
+}
+
+func TestMappedRange(t *testing.T) {
+	_, s := newSpace(0)
+	s.Install(4096, 4096)
+	if !s.MappedRange(4096, 4096) {
+		t.Fatal("MappedRange false for installed page")
+	}
+	if s.MappedRange(4000, 200) {
+		t.Fatal("MappedRange true across unmapped page 0")
+	}
+	if s.Mapped(1 << 40) {
+		t.Fatal("out-of-range page reported mapped")
+	}
+}
+
+func TestConcurrentInstallUnmap(t *testing.T) {
+	_, s := newSpace(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				page := uint64((g*1000 + i) % 16)
+				s.Install(page*4096, 4096)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for p := uint64(0); p < 16; p++ {
+		if !s.Mapped(p) {
+			t.Fatalf("page %d unmapped after concurrent installs", p)
+		}
+	}
+	// Install is idempotent: the install counter equals distinct pages.
+	if st := s.Stats(); st.Installs != 16 {
+		t.Fatalf("installs = %d, want 16 (idempotence broken)", st.Installs)
+	}
+}
+
+func TestBadPageSizePanics(t *testing.T) {
+	dev := memsim.NewDevice(memsim.Config{DataBytes: 4096})
+	for _, ps := range []int{0, -4096, 3000} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSpace(pageSize=%d) did not panic", ps)
+				}
+			}()
+			NewSpace(0, dev, ps)
+		}()
+	}
+}
+
+func TestTouchFaultsLikeResolve(t *testing.T) {
+	_, s := newSpace(0)
+	installed := false
+	s.SetHandler(func(tid int, sp *Space, page uint64) bool {
+		installed = true
+		sp.Install(page*4096, 4096)
+		return true
+	})
+	s.Touch(0, 0, 8)
+	if !installed {
+		t.Fatal("Touch did not drive the fault handler")
+	}
+}

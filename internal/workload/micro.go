@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"sync"
+	"time"
+
+	"cxlalloc/internal/alloc"
+)
+
+// Allocator microbenchmarks (§5.2.2, §5.3): threadtest estimates peak
+// allocator throughput with entirely thread-local operations; xmalloc is
+// a producer-consumer workload that stresses the remote-free path. The
+// -huge variants (Figure 10) run the same shapes with mapping-backed
+// object sizes.
+
+// MicroResult reports one run.
+type MicroResult struct {
+	Ops     int // allocations + frees performed
+	Elapsed time.Duration
+	Errors  int // failed allocations (OOM under churn)
+}
+
+// OpsPerSec returns the throughput.
+func (r MicroResult) OpsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds()
+}
+
+// Threadtest runs the classic threadtest shape: each of threads threads
+// repeatedly allocates batch objects of objSize bytes and then frees
+// them, rounds times. tids[i] is the thread slot the i-th worker uses.
+func Threadtest(a alloc.Allocator, tids []int, rounds, batch, objSize int) MicroResult {
+	var wg sync.WaitGroup
+	errs := make([]int, len(tids))
+	start := time.Now()
+	for i, tid := range tids {
+		wg.Add(1)
+		go func(i, tid int) {
+			defer wg.Done()
+			ptrs := make([]alloc.Ptr, 0, batch)
+			for r := 0; r < rounds; r++ {
+				ptrs = ptrs[:0]
+				for j := 0; j < batch; j++ {
+					p, err := a.Alloc(tid, objSize)
+					if err != nil {
+						errs[i]++
+						continue
+					}
+					ptrs = append(ptrs, p)
+				}
+				for _, p := range ptrs {
+					a.Free(tid, p)
+				}
+				a.Maintain(tid)
+			}
+		}(i, tid)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	totalErrs := 0
+	for _, e := range errs {
+		totalErrs += e
+	}
+	ops := len(tids)*rounds*batch*2 - 2*totalErrs
+	return MicroResult{Ops: ops, Elapsed: elapsed, Errors: totalErrs}
+}
+
+// Xmalloc runs the producer-consumer shape: pairs of threads where the
+// producer allocates perProducer objects of objSize bytes and the
+// consumer frees them (every free is remote). tids must hold 2*pairs
+// thread slots: producers first, consumers second.
+func Xmalloc(a alloc.Allocator, tids []int, perProducer, objSize int) MicroResult {
+	pairs := len(tids) / 2
+	var wg sync.WaitGroup
+	errs := make([]int, pairs)
+	start := time.Now()
+	for i := 0; i < pairs; i++ {
+		ch := make(chan alloc.Ptr, 256)
+		wg.Add(2)
+		go func(i, tid int, ch chan<- alloc.Ptr) {
+			defer wg.Done()
+			defer close(ch)
+			for j := 0; j < perProducer; j++ {
+				p, err := a.Alloc(tid, objSize)
+				if err != nil {
+					errs[i]++
+					continue
+				}
+				ch <- p
+			}
+		}(i, tids[i], ch)
+		go func(tid int, ch <-chan alloc.Ptr) {
+			defer wg.Done()
+			n := 0
+			for p := range ch {
+				a.Free(tid, p)
+				if n++; n%256 == 0 {
+					a.Maintain(tid)
+				}
+			}
+			a.Maintain(tid)
+		}(tids[pairs+i], ch)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	totalErrs := 0
+	for _, e := range errs {
+		totalErrs += e
+	}
+	ops := pairs*perProducer*2 - 2*totalErrs
+	return MicroResult{Ops: ops, Elapsed: elapsed, Errors: totalErrs}
+}

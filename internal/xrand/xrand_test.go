@@ -1,0 +1,191 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at %d", i)
+		}
+	}
+	c := New(43)
+	same := 0
+	a = New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds collided %d times in 1000 draws", same)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(1)
+	for _, n := range []int{1, 2, 7, 100} {
+		for i := 0; i < 1000; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntRange(t *testing.T) {
+	r := New(2)
+	seen := map[int]bool{}
+	for i := 0; i < 10000; i++ {
+		v := r.IntRange(5, 9)
+		if v < 5 || v > 9 {
+			t.Fatalf("IntRange(5,9) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("IntRange(5,9) hit %d distinct values, want 5", len(seen))
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestUniformity(t *testing.T) {
+	// Chi-squared-ish sanity check over 16 buckets.
+	r := New(7)
+	const draws = 160000
+	var buckets [16]int
+	for i := 0; i < draws; i++ {
+		buckets[r.Intn(16)]++
+	}
+	want := draws / 16
+	for i, c := range buckets {
+		if math.Abs(float64(c-want)) > float64(want)/10 {
+			t.Fatalf("bucket %d count %d deviates >10%% from %d", i, c, want)
+		}
+	}
+}
+
+func TestMixIsInjectiveOnSample(t *testing.T) {
+	seen := map[uint64]uint64{}
+	for i := uint64(0); i < 100000; i++ {
+		h := Mix(i)
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("Mix collision: Mix(%d) == Mix(%d)", i, prev)
+		}
+		seen[h] = i
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := New(seed)
+		xs := make([]int, 50)
+		for i := range xs {
+			xs[i] = i
+		}
+		r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+		seen := make([]bool, 50)
+		for _, x := range xs {
+			if x < 0 || x >= 50 || seen[x] {
+				return false
+			}
+			seen[x] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfBoundsAndSkew(t *testing.T) {
+	r := New(9)
+	const n = 1000
+	z := NewZipf(r, n, 0.99)
+	counts := make([]int, n)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		v := z.Next()
+		if v >= n {
+			t.Fatalf("zipf value %d out of range", v)
+		}
+		counts[v]++
+	}
+	// Item 0 must be by far the most popular; with theta=0.99 over 1000
+	// items it should get roughly 1/zeta(1000, .99) ~ 12% of draws.
+	if counts[0] < draws/20 {
+		t.Fatalf("item 0 drew only %d/%d; distribution not skewed", counts[0], draws)
+	}
+	if counts[0] <= counts[n-1] {
+		t.Fatal("item 0 not more popular than last item")
+	}
+	// Top-16 items should cover the majority of draws (hot set).
+	top := 0
+	for i := 0; i < 16; i++ {
+		top += counts[i]
+	}
+	if top < draws/3 {
+		t.Fatalf("top-16 cover %d/%d; zipf(0.99) should concentrate more", top, draws)
+	}
+}
+
+func TestZipfScrambledSpreadsHotKeys(t *testing.T) {
+	r := New(11)
+	const n = 1 << 16
+	z := NewZipf(r, n, 0.99)
+	counts := map[uint64]int{}
+	for i := 0; i < 100000; i++ {
+		counts[z.NextScrambled()]++
+	}
+	// The hottest scrambled key should not be key 0 in general, and all
+	// values must stay in range.
+	maxKey, maxCount := uint64(0), 0
+	for k, c := range counts {
+		if k >= n {
+			t.Fatalf("scrambled value %d out of range", k)
+		}
+		if c > maxCount {
+			maxKey, maxCount = k, c
+		}
+	}
+	if maxCount < 1000 {
+		t.Fatalf("hottest key drew %d; skew lost in scrambling", maxCount)
+	}
+	_ = maxKey
+}
+
+func TestZipfDegenerateArgs(t *testing.T) {
+	r := New(1)
+	for _, bad := range []float64{0, 1, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewZipf theta=%v did not panic", bad)
+				}
+			}()
+			NewZipf(r, 10, bad)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("NewZipf n=0 did not panic")
+			}
+		}()
+		NewZipf(r, 0, 0.99)
+	}()
+}

@@ -1,0 +1,78 @@
+package xrand
+
+import "math"
+
+// Zipf generates values in [0, n) following a zipfian distribution with
+// the given theta (the paper and YCSB use theta = 0.99). It implements
+// the rejection-free method of Gray et al. ("Quickly generating
+// billion-record synthetic databases", SIGMOD '94), which is also what
+// YCSB's ZipfianGenerator uses, so the skew of our synthetic key streams
+// matches the paper's workloads.
+//
+// Zipf is not safe for concurrent use.
+type Zipf struct {
+	rng   *Rand
+	items uint64
+	theta float64
+	alpha float64
+	zetaN float64
+	eta   float64
+	zeta2 float64
+}
+
+// NewZipf returns a zipfian generator over [0, n) with skew theta.
+// It panics if n == 0 or theta is not in (0, 1).
+func NewZipf(rng *Rand, n uint64, theta float64) *Zipf {
+	if n == 0 {
+		panic("xrand: NewZipf with n == 0")
+	}
+	if theta <= 0 || theta >= 1 {
+		panic("xrand: NewZipf theta must be in (0, 1)")
+	}
+	z := &Zipf{
+		rng:   rng,
+		items: n,
+		theta: theta,
+		zeta2: zetaStatic(2, theta),
+		zetaN: zetaStatic(n, theta),
+	}
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - z.zeta2/z.zetaN)
+	return z
+}
+
+// zetaStatic computes the generalized harmonic number sum_{i=1..n} 1/i^theta.
+// For large n this is O(n) but it runs once per generator at setup.
+func zetaStatic(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next returns the next zipfian value in [0, items). Smaller values are
+// more popular.
+func (z *Zipf) Next() uint64 {
+	u := z.rng.Float64()
+	uz := u * z.zetaN
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	v := uint64(float64(z.items) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if v >= z.items {
+		v = z.items - 1
+	}
+	return v
+}
+
+// NextScrambled returns a zipfian value whose popularity rank is
+// scattered uniformly over the key space, like YCSB's
+// ScrambledZipfianGenerator. Hot keys are therefore not clustered at low
+// IDs, which would otherwise correlate with allocator layout.
+func (z *Zipf) NextScrambled() uint64 {
+	return Mix(z.Next()) % z.items
+}

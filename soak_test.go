@@ -1,0 +1,204 @@
+package cxlalloc
+
+// End-to-end soak: the whole stack at once — pod, processes, fault
+// handlers, mixed-size workload with cross-process frees, periodic
+// crashes with recovery, and invariant + leak audits — once per
+// coherence mode. This is the closest in-tree analogue of the paper's
+// §5.1 methodology ("we run all of our benchmarks with these checks
+// enabled and observe no errors").
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"cxlalloc/internal/atomicx"
+	"cxlalloc/internal/crash"
+	"cxlalloc/internal/xrand"
+)
+
+func soakConfig(mode atomicx.Mode, inj *crash.Injector) Config {
+	cfg := DefaultConfig()
+	cfg.NumThreads = 6
+	cfg.MaxSmallSlabs = 1024
+	cfg.MaxLargeSlabs = 64
+	cfg.HugeRegionSize = 4 << 20
+	cfg.NumReservations = 32
+	cfg.DescsPerThread = 64
+	cfg.NumHazards = 32
+	cfg.Mode = mode
+	cfg.Crash = inj
+	return cfg
+}
+
+func TestSoakAllModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	for _, mode := range []atomicx.Mode{atomicx.ModeDRAM, atomicx.ModeHWcc, atomicx.ModeMCAS} {
+		t.Run(mode.String(), func(t *testing.T) {
+			inj := crash.NewInjector()
+			pod, err := NewPod(soakConfig(mode, inj))
+			if err != nil {
+				t.Fatal(err)
+			}
+			procA, procB := pod.NewProcess(), pod.NewProcess()
+
+			// Five worker threads churn; slot 5 is the crash victim.
+			var workers []*Thread
+			for i := 0; i < 5; i++ {
+				proc := procA
+				if i%2 == 1 {
+					proc = procB
+				}
+				th, err := proc.AttachThread()
+				if err != nil {
+					t.Fatal(err)
+				}
+				workers = append(workers, th)
+			}
+			victim, err := procA.AttachThreadID(5)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Cross-thread free mailboxes.
+			boxes := make([]chan Ptr, 5)
+			for i := range boxes {
+				boxes[i] = make(chan Ptr, 128)
+			}
+			var wg sync.WaitGroup
+			for i, th := range workers {
+				wg.Add(1)
+				go func(i int, th *Thread) {
+					defer wg.Done()
+					rng := xrand.New(uint64(i) * 1313)
+					var local []Ptr
+					ops := 3000
+					if mode != atomicx.ModeDRAM {
+						ops = 1200 // cache-sim modes are slower
+					}
+					for op := 0; op < ops; op++ {
+						for {
+							select {
+							case p := <-boxes[i]:
+								th.Free(p)
+								continue
+							default:
+							}
+							break
+						}
+						switch {
+						case rng.Intn(2) == 0:
+							size := rng.IntRange(1, 2048)
+							if rng.Intn(50) == 0 {
+								size = 600 << 10 // occasional huge
+							}
+							p, err := th.Alloc(size)
+							if err != nil {
+								t.Errorf("worker %d: %v", i, err)
+								return
+							}
+							th.Bytes(p, 1)[0] = byte(i)
+							local = append(local, p)
+						case len(local) > 0:
+							j := rng.Intn(len(local))
+							p := local[j]
+							local = append(local[:j], local[j+1:]...)
+							select {
+							case boxes[(i+1)%5] <- p:
+							default:
+								th.Free(p)
+							}
+						}
+						if op%512 == 0 {
+							th.Maintain()
+						}
+					}
+					for _, p := range local {
+						th.Free(p)
+					}
+					th.Maintain()
+				}(i, th)
+			}
+
+			// Victim crash/recover loop, concurrent with the workers.
+			rng := xrand.New(999)
+			for round := 0; round < 6; round++ {
+				point := []string{
+					"small.alloc.post-take", "small.extend.post-cas",
+					"small.remote-free.pre-cas", "huge.alloc.post-desc",
+				}[round%4]
+				inj.Arm(point, victim.ID(), rng.Intn(3))
+				var held []Ptr
+				c := victim.Run(func() {
+					for k := 0; k < 300; k++ {
+						size := rng.IntRange(1, 1024)
+						if k%37 == 0 {
+							size = 600 << 10
+						}
+						p, err := victim.Alloc(size)
+						if err != nil {
+							continue
+						}
+						held = append(held, p)
+						if len(held) > 4 {
+							victim.Free(held[0])
+							held = held[1:]
+						}
+					}
+				})
+				inj.Disarm()
+				if c == nil {
+					// Point not reached this round; free and continue.
+					for _, p := range held {
+						victim.Free(p)
+					}
+					continue
+				}
+				th2, rep, err := procA.Recover(victim.ID())
+				if err != nil {
+					t.Fatalf("round %d recover: %v", round, err)
+				}
+				if rep.PendingAlloc != 0 {
+					th2.Free(rep.PendingAlloc)
+				}
+				for _, p := range held {
+					th2.Free(p)
+				}
+				victim = th2
+			}
+			wg.Wait()
+
+			// Drain mailboxes, then audit.
+			for i, th := range workers {
+				for {
+					select {
+					case p := <-boxes[i]:
+						th.Free(p)
+						continue
+					default:
+					}
+					break
+				}
+				th.Maintain()
+			}
+			victim.Maintain()
+			if err := pod.Heap().CheckAll(workers[0].ID()); err != nil {
+				t.Fatalf("invariants after soak: %v", err)
+			}
+			// Functional epilogue: every thread still works.
+			for _, th := range append(workers, victim) {
+				p, err := th.Alloc(128)
+				if err != nil {
+					t.Fatal(err)
+				}
+				th.Free(p)
+			}
+			if f := victim.Footprint(); f.HWccFraction() > 0.05 {
+				t.Fatalf("HWcc fraction %v implausibly high", f.HWccFraction())
+			}
+			_ = fmt.Sprintf
+		})
+	}
+}

@@ -11,7 +11,7 @@
 //
 // Experiments: table1, table2, fig7, fig8, fig9, fig10, fig11, fig12,
 // ablation-recovery, ablation-owner-cache, ablation-hwcc,
-// ablation-disown, all.
+// ablation-disown, chaos, all.
 package main
 
 import (
@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"cxlalloc/internal/bench"
+	"cxlalloc/internal/chaos"
 )
 
 func main() {
@@ -69,7 +70,7 @@ func main() {
 	exps := strings.Split(*exp, ",")
 	if *exp == "all" {
 		exps = []string{"table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
-			"ablation-recovery", "ablation-owner-cache", "ablation-hwcc", "ablation-disown"}
+			"ablation-recovery", "ablation-owner-cache", "ablation-hwcc", "ablation-disown", "chaos"}
 	}
 
 	var all []bench.Row
@@ -121,6 +122,8 @@ func run(e string, sc bench.Scale, wl []string) ([]bench.Row, error) {
 		return bench.RunAblationHWccAccounting(sc)
 	case "ablation-disown":
 		return bench.RunAblationDisown(sc, 0)
+	case "chaos":
+		return runChaos(sc)
 	default:
 		return nil, fmt.Errorf("unknown experiment %q", e)
 	}
@@ -139,6 +142,72 @@ func print(e string, rows []bench.Row) {
 	default:
 		bench.PrintTable(os.Stdout, rows)
 	}
+}
+
+// runChaos runs the robustness gate: every crash point the workload
+// discovers is swept under thread-crash and process-crash, plus a
+// seeded NMP fault run that must complete through the sw_flush_cas
+// fallback. A failed gate is a hard error (non-zero exit).
+func runChaos(sc bench.Scale) ([]bench.Row, error) {
+	cfg := chaos.DefaultConfig()
+	cfg.Seed = sc.Seed
+	cfg.Ops = min(max(sc.Ops/100, 300), 2000)
+	rep, err := chaos.Sweep(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Print(chaos.FormatReport(rep))
+
+	var rows []bench.Row
+	for _, mode := range []chaos.Mode{chaos.ModeThreadCrash, chaos.ModeProcessCrash} {
+		fired := 0
+		total := 0
+		for _, r := range rep.Runs {
+			if r.Mode != mode {
+				continue
+			}
+			total++
+			if r.Fired {
+				fired++
+			}
+		}
+		rows = append(rows, bench.Row{
+			Experiment: "chaos",
+			Workload:   "sweep/" + string(mode),
+			Allocator:  "cxlalloc",
+			Threads:    cfg.Threads,
+			Procs:      cfg.Procs,
+			Ops:        total,
+			Extra: map[string]string{
+				"points": fmt.Sprint(len(rep.Points)),
+				"fired":  fmt.Sprint(fired),
+			},
+		})
+	}
+	rows = append(rows, bench.Row{
+		Experiment: "chaos",
+		Workload:   "nmp-faults",
+		Allocator:  "cxlalloc-mcas",
+		Threads:    cfg.Threads,
+		Procs:      cfg.Procs,
+		Extra: map[string]string{
+			"faults":    fmt.Sprint(rep.NMP.Faults),
+			"retries":   fmt.Sprint(rep.NMP.Retries),
+			"fallbacks": fmt.Sprint(rep.NMP.Fallbacks),
+			"completed": fmt.Sprint(rep.NMP.Completed),
+		},
+	})
+	if !rep.Ok() {
+		return rows, fmt.Errorf("chaos gate failed: %s", rep.Summary())
+	}
+	return rows, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 func max(a, b int) int {

@@ -76,6 +76,9 @@ type Crashed = crash.Crashed
 var (
 	ErrOutOfMemory = core.ErrOutOfMemory
 	ErrTooLarge    = core.ErrTooLarge
+	// ErrNotCrashed is returned by Process.Recover and Process.Restart
+	// when the target is alive (never crashed, or already recovered).
+	ErrNotCrashed = core.ErrNotCrashed
 )
 
 // DefaultConfig returns a moderate configuration suitable for examples
@@ -91,7 +94,7 @@ type Pod struct {
 
 	mu       sync.Mutex
 	nextProc int
-	tidUsed  []bool
+	tidOwner []*Process // per thread slot: owning process, nil = free
 }
 
 // NewPod creates a pod with a zeroed device. Zeroed memory is a valid
@@ -106,7 +109,7 @@ func NewPod(cfg Config) (*Pod, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Pod{dev: dev, heap: heap, tidUsed: make([]bool, cfg.NumThreads)}, nil
+	return &Pod{dev: dev, heap: heap, tidOwner: make([]*Process, cfg.NumThreads)}, nil
 }
 
 // Heap exposes the underlying allocator for benchmarks and tests.
@@ -121,14 +124,19 @@ func (pod *Pod) Device() *memsim.Device { return pod.dev }
 type Process struct {
 	pod   *Pod
 	space *vas.Space
+	dead  bool // guarded by pod.mu; set by Pod.KillProcess
 }
 
 // NewProcess attaches a new process to the pod.
 func (pod *Pod) NewProcess() *Process {
 	pod.mu.Lock()
+	defer pod.mu.Unlock()
+	return pod.newProcessLocked()
+}
+
+func (pod *Pod) newProcessLocked() *Process {
 	id := pod.nextProc
 	pod.nextProc++
-	pod.mu.Unlock()
 	sp := vas.NewSpace(id, pod.dev, pod.heap.Config().PageSize)
 	sp.SetHandler(func(tid int, s *vas.Space, page uint64) bool {
 		return pod.heap.HandleFault(tid, s.Install, page)
@@ -159,32 +167,38 @@ type Thread struct {
 func (p *Process) AttachThread() (*Thread, error) {
 	p.pod.mu.Lock()
 	defer p.pod.mu.Unlock()
-	for tid, used := range p.pod.tidUsed {
-		if !used {
+	if p.dead {
+		return nil, fmt.Errorf("cxlalloc: process %d is dead", p.space.ID())
+	}
+	for tid, owner := range p.pod.tidOwner {
+		if owner == nil {
 			if err := p.pod.heap.AttachThread(tid, p.space); err != nil {
 				return nil, err
 			}
-			p.pod.tidUsed[tid] = true
+			p.pod.tidOwner[tid] = p
 			return &Thread{proc: p, tid: tid}, nil
 		}
 	}
-	return nil, fmt.Errorf("cxlalloc: all %d thread slots in use", len(p.pod.tidUsed))
+	return nil, fmt.Errorf("cxlalloc: all %d thread slots in use", len(p.pod.tidOwner))
 }
 
 // AttachThreadID claims a specific thread slot.
 func (p *Process) AttachThreadID(tid int) (*Thread, error) {
 	p.pod.mu.Lock()
 	defer p.pod.mu.Unlock()
-	if tid < 0 || tid >= len(p.pod.tidUsed) {
+	if p.dead {
+		return nil, fmt.Errorf("cxlalloc: process %d is dead", p.space.ID())
+	}
+	if tid < 0 || tid >= len(p.pod.tidOwner) {
 		return nil, fmt.Errorf("cxlalloc: thread ID %d out of range", tid)
 	}
-	if p.pod.tidUsed[tid] {
+	if p.pod.tidOwner[tid] != nil {
 		return nil, fmt.Errorf("cxlalloc: thread slot %d already in use", tid)
 	}
 	if err := p.pod.heap.AttachThread(tid, p.space); err != nil {
 		return nil, err
 	}
-	p.pod.tidUsed[tid] = true
+	p.pod.tidOwner[tid] = p
 	return &Thread{proc: p, tid: tid}, nil
 }
 
@@ -247,11 +261,121 @@ func (t *Thread) Kill() {
 
 // Recover runs the non-blocking recovery protocol (§3.4.2) on a crashed
 // thread slot, rebinding it to this process, and returns a fresh Thread
-// plus the recovery report.
+// plus the recovery report. Recovering a slot that is alive — never
+// crashed, or already recovered — fails with ErrNotCrashed.
 func (p *Process) Recover(tid int) (*Thread, RecoveryReport, error) {
+	p.pod.mu.Lock()
+	if p.dead {
+		p.pod.mu.Unlock()
+		return nil, RecoveryReport{}, fmt.Errorf("cxlalloc: process %d is dead", p.space.ID())
+	}
+	p.pod.mu.Unlock()
 	rep, err := p.pod.heap.RecoverThread(tid, p.space)
 	if err != nil {
 		return nil, rep, err
 	}
+	p.pod.mu.Lock()
+	p.pod.tidOwner[tid] = p
+	p.pod.mu.Unlock()
 	return &Thread{proc: p, tid: tid}, rep, nil
+}
+
+// Dead reports whether the process was killed by Pod.KillProcess.
+func (p *Process) Dead() bool {
+	p.pod.mu.Lock()
+	defer p.pod.mu.Unlock()
+	return p.dead
+}
+
+// TIDs returns the thread slots currently owned by this process, in
+// ascending order.
+func (p *Process) TIDs() []int {
+	p.pod.mu.Lock()
+	defer p.pod.mu.Unlock()
+	return p.pod.tidsOfLocked(p)
+}
+
+func (pod *Pod) tidsOfLocked(p *Process) []int {
+	var tids []int
+	for tid, owner := range pod.tidOwner {
+		if owner == p {
+			tids = append(tids, tid)
+		}
+	}
+	return tids
+}
+
+// Thread returns a handle for slot tid, which must be owned by this
+// process and alive.
+func (p *Process) Thread(tid int) (*Thread, error) {
+	p.pod.mu.Lock()
+	defer p.pod.mu.Unlock()
+	if tid < 0 || tid >= len(p.pod.tidOwner) || p.pod.tidOwner[tid] != p {
+		return nil, fmt.Errorf("cxlalloc: thread slot %d is not owned by process %d", tid, p.space.ID())
+	}
+	if !p.pod.heap.Alive(tid) {
+		return nil, fmt.Errorf("cxlalloc: thread slot %d is crashed", tid)
+	}
+	return &Thread{proc: p, tid: tid}, nil
+}
+
+// KillProcess simulates whole-process death (the paper's partial failure
+// model, §3.4): every thread bound to the process's address space is
+// marked crashed exactly as a kill -9 would leave it — mid-operation,
+// with CPU caches draining to the device because the host survives — and
+// the process's memory mappings are discarded (vas.Space.Revoke), so
+// stale handles segfault instead of silently touching shared memory.
+// It returns the killed thread slots and is idempotent.
+func (pod *Pod) KillProcess(p *Process) []int {
+	pod.mu.Lock()
+	defer pod.mu.Unlock()
+	if p.dead {
+		return nil
+	}
+	p.dead = true
+	tids := pod.tidsOfLocked(p)
+	for _, tid := range tids {
+		pod.heap.MarkCrashed(tid)
+	}
+	p.space.Revoke()
+	return tids
+}
+
+// Restart recovers a killed process: a fresh Process (new ID, fresh
+// address space with the SIGSEGV handler installed) re-runs the
+// non-blocking recovery protocol for every thread slot the dead process
+// owned, then adopts those slots. Restarting a live process fails with
+// ErrNotCrashed.
+//
+// Restart is re-runnable: if an injected crash fires during one of the
+// slot recoveries, the panic propagates with the remaining slots still
+// dead and still owned by the dead process; MarkCrashed the victim and
+// call Restart again. Slots a previous aborted attempt already revived
+// are adopted as-is (they stay bound to that attempt's space, which
+// resolves the same shared bytes).
+func (p *Process) Restart() (*Process, []RecoveryReport, error) {
+	pod := p.pod
+	pod.mu.Lock()
+	defer pod.mu.Unlock()
+	if !p.dead {
+		return nil, nil, fmt.Errorf("cxlalloc: process %d is alive: %w", p.space.ID(), ErrNotCrashed)
+	}
+	np := pod.newProcessLocked()
+	tids := pod.tidsOfLocked(p)
+	var reports []RecoveryReport
+	for _, tid := range tids {
+		if pod.heap.Alive(tid) {
+			continue // revived by an earlier, aborted Restart
+		}
+		rep, err := pod.heap.RecoverThread(tid, np.space)
+		if err != nil {
+			return nil, reports, fmt.Errorf("cxlalloc: restart of process %d: %w", p.space.ID(), err)
+		}
+		reports = append(reports, rep)
+	}
+	// All slots alive: transfer ownership to the new process.
+	for _, tid := range tids {
+		pod.tidOwner[tid] = np
+	}
+	return np, reports, nil
 }

@@ -1,6 +1,7 @@
 package cxlalloc
 
 import (
+	"errors"
 	"sync"
 	"testing"
 
@@ -220,5 +221,155 @@ func TestPodInvalidConfig(t *testing.T) {
 	cfg.NumThreads = -1
 	if _, err := NewPod(cfg); err == nil {
 		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestPodKillProcessRestart(t *testing.T) {
+	pod, _ := NewPod(smallPodConfig())
+	procA, procB := pod.NewProcess(), pod.NewProcess()
+	a1, _ := procA.AttachThread()
+	a2, _ := procA.AttachThread()
+	b, _ := procB.AttachThread()
+
+	p, _ := a1.Alloc(256)
+	copy(a1.Bytes(p, 4), "data")
+	q, _ := a2.Alloc(600 << 10) // huge, to exercise hazard/interval rebuild
+	a2.Bytes(q, 8)[0] = 7
+
+	killed := pod.KillProcess(procA)
+	if len(killed) != 2 {
+		t.Fatalf("killed %v, want both of process A's threads", killed)
+	}
+	if !procA.Dead() {
+		t.Fatal("process not marked dead")
+	}
+	if pod.KillProcess(procA) != nil {
+		t.Fatal("second kill not idempotent")
+	}
+	// Dead process rejects new work.
+	if _, err := procA.AttachThread(); err == nil {
+		t.Fatal("attached thread to dead process")
+	}
+	if _, _, err := procA.Recover(a1.ID()); err == nil {
+		t.Fatal("recovered into dead process")
+	}
+	// A stale handle faults instead of touching shared memory.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("stale thread handle did not segfault")
+			}
+		}()
+		a1.Bytes(p, 4)
+	}()
+
+	// The surviving process keeps allocating while A is down (§3.4.1).
+	for i := 0; i < 10; i++ {
+		r, err := b.Alloc(128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Free(r)
+	}
+
+	procA2, reports, err := procA.Restart()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("recovered %d slots, want 2", len(reports))
+	}
+	if got := procA2.TIDs(); len(got) != 2 {
+		t.Fatalf("restarted process owns %v", got)
+	}
+	// Restarting the (live) new process fails typed.
+	if _, _, err := procA2.Restart(); !errors.Is(err, ErrNotCrashed) {
+		t.Fatalf("restart of live process: err = %v, want ErrNotCrashed", err)
+	}
+	// Data survives into the fresh address space; mappings fault back in.
+	na1, err := procA2.Thread(a1.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(na1.Bytes(p, 4)); got != "data" {
+		t.Fatalf("data lost across restart: %q", got)
+	}
+	na2, _ := procA2.Thread(a2.ID())
+	if na2.Bytes(q, 8)[0] != 7 {
+		t.Fatal("huge data lost across restart")
+	}
+	na1.Free(p)
+	na2.Free(q)
+	na2.Maintain()
+	if err := pod.Heap().CheckAll(b.ID()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPodRecoverNotCrashedTyped(t *testing.T) {
+	pod, _ := NewPod(smallPodConfig())
+	proc := pod.NewProcess()
+	th, _ := proc.AttachThread()
+	if _, _, err := proc.Recover(th.ID()); !errors.Is(err, ErrNotCrashed) {
+		t.Fatalf("recover of live thread: err = %v, want ErrNotCrashed", err)
+	}
+	th.Kill()
+	th.Kill() // idempotent
+	if _, _, err := proc.Recover(th.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := proc.Recover(th.ID()); !errors.Is(err, ErrNotCrashed) {
+		t.Fatalf("second recover: err = %v, want ErrNotCrashed", err)
+	}
+}
+
+// A crash during Restart's slot recovery leaves a re-runnable state: the
+// harness marks the victim crashed and calls Restart again.
+func TestPodRestartCrashRerun(t *testing.T) {
+	cfg := smallPodConfig()
+	inj := crash.NewInjector()
+	cfg.Crash = inj
+	pod, _ := NewPod(cfg)
+	proc := pod.NewProcess()
+	th1, _ := proc.AttachThread()
+	th2, _ := proc.AttachThread()
+	p1, _ := th1.Alloc(512)
+	p2, _ := th2.Alloc(512)
+
+	pod.KillProcess(proc)
+	inj.Arm("recover.post-rebuild-small", th1.ID(), 0)
+	var np *Process
+	c := crash.Run(func() {
+		var err error
+		np, _, err = proc.Restart()
+		if err != nil {
+			t.Errorf("restart: %v", err)
+		}
+	})
+	if c == nil {
+		t.Fatal("crash inside Restart never fired")
+	}
+	inj.Disarm()
+	pod.Heap().MarkCrashed(c.TID)
+
+	np, reports, err := proc.Restart()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("second restart recovered %d slots, want 2", len(reports))
+	}
+	nt1, err := np.Thread(th1.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nt2, err := np.Thread(th2.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nt1.Free(p1)
+	nt2.Free(p2)
+	if err := pod.Heap().CheckAll(nt1.ID()); err != nil {
+		t.Fatal(err)
 	}
 }

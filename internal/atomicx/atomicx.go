@@ -21,6 +21,8 @@
 package atomicx
 
 import (
+	"sync/atomic"
+
 	"cxlalloc/internal/memsim"
 	"cxlalloc/internal/nmp"
 )
@@ -51,6 +53,20 @@ func (m Mode) String() string {
 	}
 }
 
+// HWStats counts degraded-mode events on the hw_cas (mCAS) path: device
+// faults observed, bounded retries, and CASes that completed through the
+// sw_flush_cas fallback instead of the NMP unit.
+type HWStats struct {
+	MCASFaults  uint64 // faulted mCAS attempts observed by CAS
+	MCASRetries uint64 // retries issued after a fault
+	Fallbacks   uint64 // CASes completed via the sw_flush_cas fallback
+}
+
+// mcasAttempts bounds the retry loop on a faulting NMP unit: the first
+// attempt plus three retries with exponential backoff, after which CAS
+// degrades to sw_flush_cas.
+const mcasAttempts = 4
+
 // HW performs loads, stores, and CAS on HWcc-region words under one of
 // the coherence models. All methods are safe for concurrent use.
 type HW struct {
@@ -58,6 +74,10 @@ type HW struct {
 	mode Mode
 	unit *nmp.Unit
 	lat  *memsim.Latency
+
+	mcasFaults  atomic.Uint64
+	mcasRetries atomic.Uint64
+	fallbacks   atomic.Uint64
 }
 
 // New returns an HW over dev in the given mode. unit is required for
@@ -113,10 +133,35 @@ func (h *HW) Store(tid, w int, v uint64) {
 // CAS attempts to replace old with new in word w. It returns the value
 // observed (old on success, the conflicting current value on failure)
 // and whether the swap occurred.
+//
+// In ModeMCAS a faulting NMP unit does not hang the pod: CAS retries the
+// unit a bounded number of times with exponential backoff and then falls
+// back to sw_flush_cas, so workloads complete degraded (counted in
+// Stats) instead of blocking. The fallback is safe in the simulator
+// because a faulted attempt commits nothing; on real hardware it
+// inherits sw_flush_cas's single-coherence-domain caveat, which is the
+// price of availability while the unit is down.
 func (h *HW) CAS(tid, w int, old, new uint64) (cur uint64, ok bool) {
 	switch h.mode {
 	case ModeMCAS:
-		return h.unit.MCAS(tid, w, old, new)
+		for attempt := 0; attempt < mcasAttempts; attempt++ {
+			cur, ok, err := h.unit.TryMCAS(tid, w, old, new)
+			if err == nil {
+				return cur, ok
+			}
+			h.mcasFaults.Add(1)
+			if attempt < mcasAttempts-1 {
+				h.mcasRetries.Add(1)
+				h.lat.Inject(h.latv().MCASService << attempt)
+			}
+		}
+		h.fallbacks.Add(1)
+		h.lat.Inject(h.latv().FlushCost)
+		h.lat.Inject(h.latv().CASRTT)
+		if h.dev.HWccCAS(w, old, new) {
+			return old, true
+		}
+		return h.dev.HWccLoad(w), false
 	case ModeSWFlush:
 		h.lat.Inject(h.latv().FlushCost)
 		h.lat.Inject(h.latv().CASRTT)
@@ -129,6 +174,15 @@ func (h *HW) CAS(tid, w int, old, new uint64) (cur uint64, ok bool) {
 		return old, true
 	}
 	return h.dev.HWccLoad(w), false
+}
+
+// Stats returns a snapshot of the degraded-mode counters.
+func (h *HW) Stats() HWStats {
+	return HWStats{
+		MCASFaults:  h.mcasFaults.Load(),
+		MCASRetries: h.mcasRetries.Load(),
+		Fallbacks:   h.fallbacks.Load(),
+	}
 }
 
 // latv returns the latency model, or a shared disabled model when none

@@ -311,3 +311,62 @@ func TestHWWithLatencyModels(t *testing.T) {
 		dev.HWccStore(0, 0)
 	}
 }
+
+func newMCASHW() (*memsim.Device, *nmp.Unit, *HW) {
+	dev := memsim.NewDevice(memsim.Config{HWccWords: 256})
+	unit := nmp.New(dev, nil)
+	return dev, unit, New(dev, ModeMCAS, unit, nil)
+}
+
+// A transiently faulting unit is absorbed by the bounded retry loop: the
+// CAS completes on the unit, without falling back.
+func TestCASRetriesTransientFaults(t *testing.T) {
+	dev, unit, hw := newMCASHW()
+	dev.HWccStore(1, 7)
+	unit.InjectFaults(nmp.FaultPlan{Mode: nmp.FaultTimeout, Count: 2})
+	cur, ok := hw.CAS(0, 1, 7, 8)
+	if !ok || cur != 7 {
+		t.Fatalf("CAS through transient faults: cur=%d ok=%v", cur, ok)
+	}
+	if got := dev.HWccLoad(1); got != 8 {
+		t.Fatalf("swap lost: %d", got)
+	}
+	s := hw.Stats()
+	if s.MCASFaults != 2 || s.MCASRetries != 2 || s.Fallbacks != 0 {
+		t.Fatalf("stats = %+v, want 2 faults, 2 retries, 0 fallbacks", s)
+	}
+}
+
+// A dead unit exhausts the retry budget and the CAS degrades to
+// sw_flush_cas — both the success and failure paths keep CAS semantics.
+func TestCASFallsBackWhenUnitDown(t *testing.T) {
+	dev, unit, hw := newMCASHW()
+	dev.HWccStore(2, 40)
+	unit.InjectFaults(nmp.FaultPlan{Mode: nmp.FaultUnavailable})
+	cur, ok := hw.CAS(0, 2, 40, 41)
+	if !ok || cur != 40 {
+		t.Fatalf("fallback CAS success path: cur=%d ok=%v", cur, ok)
+	}
+	if got := dev.HWccLoad(2); got != 41 {
+		t.Fatalf("fallback swap lost: %d", got)
+	}
+	cur, ok = hw.CAS(0, 2, 40, 42)
+	if ok || cur != 41 {
+		t.Fatalf("fallback CAS failure path: cur=%d ok=%v", cur, ok)
+	}
+	s := hw.Stats()
+	if s.Fallbacks != 2 {
+		t.Fatalf("fallbacks = %d, want 2", s.Fallbacks)
+	}
+	if s.MCASFaults != 2*mcasAttempts || s.MCASRetries != 2*(mcasAttempts-1) {
+		t.Fatalf("stats = %+v, want %d faults, %d retries", s, 2*mcasAttempts, 2*(mcasAttempts-1))
+	}
+	// The unit comes back: CAS returns to the mCAS path, no new fallbacks.
+	unit.ClearFaults()
+	if _, ok := hw.CAS(0, 2, 41, 43); !ok {
+		t.Fatal("CAS after unit recovery failed")
+	}
+	if s := hw.Stats(); s.Fallbacks != 2 {
+		t.Fatalf("fallbacks grew after recovery: %d", s.Fallbacks)
+	}
+}

@@ -1,0 +1,621 @@
+// Package chaos is the pod-wide fault-injection harness behind the
+// paper's safety claim (§3.4, §5.1): any thread or any whole process may
+// die at any instrumented point — including inside recovery itself — and
+// the rest of the pod keeps allocating while non-blocking recovery
+// converges; a faulting NMP unit degrades service instead of hanging it.
+//
+// The harness is systematic, not sampled. Sweep first runs a profiling
+// pass that discovers every crash point the workload visits (the
+// injector's coverage counters), then replays the same deterministic
+// workload once per point × failure mode with that point armed for every
+// thread. Determinism guarantees the armed point fires at the same
+// sequence position profiling saw it, so a point that never fires is a
+// coverage failure, not bad luck. After each crash the harness proves
+// the §3.4.1 non-blocking property (survivors keep allocating), recovers
+// (thread recovery or whole-process kill/restart), runs the full
+// invariant check, and drives the workload to completion with a leak
+// audit at the end.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"cxlalloc"
+	"cxlalloc/internal/atomicx"
+	"cxlalloc/internal/core"
+	"cxlalloc/internal/crash"
+	"cxlalloc/internal/nmp"
+	"cxlalloc/internal/xrand"
+)
+
+// Mode is a failure mode the sweep applies at each crash point.
+type Mode string
+
+const (
+	// ModeThreadCrash kills only the thread that hits the armed point;
+	// its slot is recovered into its surviving process.
+	ModeThreadCrash Mode = "thread-crash"
+	// ModeProcessCrash escalates the crash to whole-process death: every
+	// thread of the victim's process is killed, its mappings discarded,
+	// and the process restarted into a fresh address space.
+	ModeProcessCrash Mode = "process-crash"
+)
+
+// Config parameterizes a sweep.
+type Config struct {
+	Threads int    // simulated threads, round-robin across Procs processes
+	Procs   int    // simulated processes (>= 2 so process death has survivors)
+	Ops     int    // workload steps in the main phase
+	Seed    uint64 // workload RNG seed (reproducible)
+	Modes   []Mode // nil = both modes
+}
+
+// DefaultConfig returns a sweep sized for CI: small enough to run every
+// point × mode in seconds, large enough to visit every instrumented
+// point (slab fill/spill, steal, huge alloc/free/reclaim, cross-process
+// faults and hazards, and recovery itself).
+func DefaultConfig() Config {
+	return Config{Threads: 4, Procs: 2, Ops: 600, Seed: 2026}
+}
+
+func (c *Config) modes() []Mode {
+	if len(c.Modes) == 0 {
+		return []Mode{ModeThreadCrash, ModeProcessCrash}
+	}
+	return c.Modes
+}
+
+func (c *Config) validate() error {
+	if c.Threads < 2 || c.Procs < 2 || c.Threads < c.Procs {
+		return fmt.Errorf("chaos: need Threads >= Procs >= 2, got %d/%d", c.Threads, c.Procs)
+	}
+	if c.Ops < 50 {
+		return fmt.Errorf("chaos: Ops %d too small to reach the slab transition points", c.Ops)
+	}
+	return nil
+}
+
+// PointRun is the outcome of one point × mode sweep run.
+type PointRun struct {
+	Point    string `json:"point"`
+	Mode     Mode   `json:"mode"`
+	Fired    bool   `json:"fired"`
+	CrashTID int    `json:"crash_tid"`
+	Err      string `json:"err,omitempty"`
+}
+
+// NMPResult is the degraded-mode phase: a seeded device-fault run that
+// must complete through the sw_flush_cas fallback instead of hanging.
+type NMPResult struct {
+	Completed bool   `json:"completed"`
+	Fallbacks uint64 `json:"fallbacks"`
+	Retries   uint64 `json:"retries"`
+	Faults    uint64 `json:"faults"`
+	Err       string `json:"err,omitempty"`
+}
+
+// Report is a sweep's full outcome.
+type Report struct {
+	Points     []string   // every crash point discovered by profiling
+	Runs       []PointRun // one per point × mode
+	Unswept    []string   // "point/mode" combos whose crash never fired
+	Violations []string   // invariant or recovery failures
+	NMP        NMPResult
+	Stats      core.Stats // coverage + degraded-mode counters
+}
+
+// Ok reports whether the sweep met the robustness gate: every discovered
+// point swept under every mode with zero violations, and the NMP fault
+// run completed degraded.
+func (r *Report) Ok() bool {
+	return len(r.Unswept) == 0 && len(r.Violations) == 0 &&
+		r.NMP.Completed && r.NMP.Fallbacks > 0
+}
+
+// Summary returns a one-line outcome for logs.
+func (r *Report) Summary() string {
+	status := "OK"
+	if !r.Ok() {
+		status = "FAIL"
+	}
+	return fmt.Sprintf("chaos %s: %d points x %d runs, %d unswept, %d violations, nmp fallbacks=%d",
+		status, len(r.Points), len(r.Runs), len(r.Unswept), len(r.Violations), r.NMP.Fallbacks)
+}
+
+// Sweep runs the full chaos gate: profile, sweep every discovered point
+// under every mode, then the NMP fault phase. It returns a Report; the
+// error is non-nil only for harness misconfiguration.
+func Sweep(cfg Config) (*Report, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rep := &Report{}
+
+	points, err := discover(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep.Points = points
+
+	// The profiling workload must reach the allocator's interesting
+	// transitions and the recovery path; otherwise the sweep would
+	// vacuously pass over a too-gentle workload.
+	for _, must := range append([]string{"small.alloc.post-take", "huge.alloc.post-link"},
+		core.RecoveryCrashPoints...) {
+		if !contains(points, must) {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("profiling never visited %q: workload too gentle", must))
+		}
+	}
+
+	swept := make(map[string]int, len(points))
+	for _, point := range points {
+		for _, mode := range cfg.modes() {
+			run := sweepOne(cfg, point, mode)
+			rep.Runs = append(rep.Runs, run)
+			if run.Fired {
+				swept[point]++
+			} else {
+				rep.Unswept = append(rep.Unswept, point+"/"+string(mode))
+			}
+			if run.Err != "" {
+				rep.Violations = append(rep.Violations,
+					fmt.Sprintf("%s/%s: %s", point, mode, run.Err))
+			}
+		}
+	}
+
+	rep.NMP = runNMPFaults(cfg, rep)
+	rep.Stats.CrashPointsInstrumented = len(points)
+	for _, n := range swept {
+		if n == len(cfg.modes()) {
+			rep.Stats.CrashPointsSwept++
+		}
+	}
+	return rep, nil
+}
+
+func contains(ss []string, s string) bool {
+	for _, v := range ss {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// discover runs the canonical script with coverage enabled and nothing
+// armed, returning every crash point it visits.
+func discover(cfg Config) ([]string, error) {
+	inj := crash.NewInjector()
+	inj.EnableCoverage()
+	h, err := newHarness(cfg, inj, atomicx.ModeDRAM)
+	if err != nil {
+		return nil, err
+	}
+	if err := h.runScript(nil); err != nil {
+		return nil, fmt.Errorf("chaos: profiling run failed: %w", err)
+	}
+	names := inj.PointNames()
+	sort.Strings(names)
+	return names, nil
+}
+
+// sweepOne replays the script with point armed for every thread and mode
+// as the failure response. A panic (the heap's corruption detector)
+// is captured as the run's error, not allowed to abort the whole gate.
+func sweepOne(cfg Config, point string, mode Mode) (run PointRun) {
+	run = PointRun{Point: point, Mode: mode, CrashTID: -1}
+	defer func() {
+		if r := recover(); r != nil {
+			run.Err = fmt.Sprintf("panic: %v", r)
+		}
+	}()
+	inj := crash.NewInjector()
+	h, err := newHarness(cfg, inj, atomicx.ModeDRAM)
+	if err != nil {
+		run.Err = err.Error()
+		return run
+	}
+	for tid := 0; tid < cfg.Threads; tid++ {
+		inj.Arm(point, tid, 0)
+	}
+	err = h.runScript(func(c *crash.Crashed) error {
+		if c.Point != point {
+			return fmt.Errorf("crashed at %q while sweeping %q", c.Point, point)
+		}
+		run.Fired = true
+		run.CrashTID = c.TID
+		return h.handleCrash(c, mode)
+	})
+	if err != nil {
+		run.Err = err.Error()
+	}
+	return run
+}
+
+// runNMPFaults drives the script on an mCAS pod whose NMP unit is
+// unavailable for the whole run: every CAS must retry, fall back to
+// sw_flush_cas, and the workload must complete invariant-clean.
+func runNMPFaults(cfg Config, rep *Report) NMPResult {
+	var res NMPResult
+	// As in sweepOne: a heap-corruption panic is this phase's failure
+	// verdict, not a reason to abort the whole gate.
+	defer func() {
+		if r := recover(); r != nil {
+			res.Completed = false
+			res.Err = fmt.Sprintf("panic: %v", r)
+		}
+	}()
+	h, err := newHarness(cfg, nil, atomicx.ModeMCAS)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	h.pod.Heap().NMP().InjectFaults(nmp.FaultPlan{Mode: nmp.FaultUnavailable, Seed: cfg.Seed})
+	if err := h.runScript(nil); err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	st := h.pod.Heap().Stats()
+	res.Completed = true
+	res.Fallbacks = st.HWCASFallbacks
+	res.Retries = st.MCASRetries
+	res.Faults = st.NMPFaultsInjected
+	rep.Stats.HWCASFallbacks = st.HWCASFallbacks
+	rep.Stats.MCASFaults = st.MCASFaults
+	rep.Stats.MCASRetries = st.MCASRetries
+	rep.Stats.NMPFaultsInjected = st.NMPFaultsInjected
+	return res
+}
+
+// crashHandler responds to a fired crash; nil means crashes are
+// unexpected (profiling, NMP phase).
+type crashHandler func(*crash.Crashed) error
+
+// harness drives one pod through the canonical script. All simulated
+// threads run from a single goroutine (round-robin), so runs are
+// deterministic given the seed and the heap is quiescent whenever the
+// invariant checker runs.
+type harness struct {
+	cfg     Config
+	inj     *crash.Injector
+	pod     *cxlalloc.Pod
+	procs   []*cxlalloc.Process
+	threads []*cxlalloc.Thread // indexed by tid
+	rng     *xrand.Rand
+	live    []cxlalloc.Ptr
+}
+
+func newHarness(cfg Config, inj *crash.Injector, mode atomicx.Mode) (*harness, error) {
+	pc := cxlalloc.DefaultConfig()
+	pc.NumThreads = cfg.Threads
+	pc.MaxSmallSlabs = 64
+	pc.MaxLargeSlabs = 16
+	pc.HugeRegionSize = 1 << 20
+	pc.NumReservations = 8
+	pc.DescsPerThread = 16
+	pc.NumHazards = 8
+	pc.UnsizedThreshold = 2
+	pc.Mode = mode
+	pc.Crash = inj
+	pod, err := cxlalloc.NewPod(pc)
+	if err != nil {
+		return nil, err
+	}
+	h := &harness{
+		cfg:     cfg,
+		inj:     inj,
+		pod:     pod,
+		procs:   make([]*cxlalloc.Process, cfg.Procs),
+		threads: make([]*cxlalloc.Thread, cfg.Threads),
+		rng:     xrand.New(cfg.Seed),
+	}
+	for i := range h.procs {
+		h.procs[i] = pod.NewProcess()
+	}
+	for tid := 0; tid < cfg.Threads; tid++ {
+		th, err := h.procs[tid%cfg.Procs].AttachThreadID(tid)
+		if err != nil {
+			return nil, err
+		}
+		h.threads[tid] = th
+	}
+	return h, nil
+}
+
+func (h *harness) procIdx(tid int) int { return tid % h.cfg.Procs }
+
+// killTID is the scripted kill victim: the highest tid, so tid 0 (the
+// invariant checker's vantage point) survives the scripted segment.
+func (h *harness) killTID() int { return h.cfg.Threads - 1 }
+
+// aliveTID returns a live thread slot to check invariants from.
+func (h *harness) aliveTID() int {
+	heap := h.pod.Heap()
+	for tid := range h.threads {
+		if heap.Alive(tid) {
+			return tid
+		}
+	}
+	return -1
+}
+
+// runScript is the canonical deterministic workload: a main phase, a
+// scripted thread kill + recovery (so the recover.* points are visited
+// in every run), a tail phase, and a full drain with leak audit.
+func (h *harness) runScript(onCrash crashHandler) error {
+	if err := h.driveOps(h.cfg.Ops, onCrash); err != nil {
+		return err
+	}
+	if err := h.scriptedKillRecover(onCrash); err != nil {
+		return err
+	}
+	if err := h.driveOps(h.cfg.Ops/2, onCrash); err != nil {
+		return err
+	}
+	return h.drain(onCrash)
+}
+
+// step is one workload operation by thread tid. Sizes cover all three
+// heaps; free bursts drive empty/spill/pop-global; cross-process reads
+// publish hazards; Maintain reclaims huge space.
+func (h *harness) step(tid, i int) {
+	th := h.threads[tid]
+	r := h.rng
+	roll := r.Intn(100)
+	switch {
+	case roll < 55 || len(h.live) == 0:
+		var size int
+		switch c := r.Intn(20); {
+		case c < 13:
+			size = r.IntRange(1, core.SmallMax())
+		case c < 18:
+			size = r.IntRange(core.SmallMax()+1, core.LargeMax())
+		default:
+			size = core.LargeMax() + r.IntRange(1, 64<<10)
+		}
+		p, err := th.Alloc(size)
+		if err != nil {
+			return // heap pressure: fine, frees will catch up
+		}
+		// Append before touching bytes: Alloc has returned (its oplog is
+		// clean), so a crash in the write below must not lose the pointer.
+		h.addLive(p)
+		th.Bytes(p, 1)[0] = byte(i)
+	case roll < 90:
+		// Free a random live pointer — often a remote free, since any
+		// thread may have allocated it. Remove from live first: once a
+		// free is requested it is irrevocable (a crash mid-free is
+		// completed by the redo protocol).
+		idx := r.Intn(len(h.live))
+		p := h.live[idx]
+		h.live = append(h.live[:idx], h.live[idx+1:]...)
+		th.Free(p)
+	case roll < 96:
+		// Cross-process read: faults mappings in (PC-T) and publishes
+		// hazard offsets for huge pointers.
+		th.Bytes(h.live[r.Intn(len(h.live))], 1)
+	default:
+		th.Maintain()
+	}
+}
+
+// addLive tracks a pointer the application now owns. A pointer that is
+// already live means the allocator handed the same block out twice (or
+// a recovery reported a pending allocation the application already
+// adopted) — caught here, at the moment of the duplication, rather than
+// as a double free at drain time.
+func (h *harness) addLive(p cxlalloc.Ptr) {
+	for _, q := range h.live {
+		if q == p {
+			panic(fmt.Sprintf("chaos: pointer %#x handed out twice", p))
+		}
+	}
+	h.live = append(h.live, p)
+}
+
+// driveOps runs n steps round-robin, routing crashes to onCrash.
+func (h *harness) driveOps(n int, onCrash crashHandler) error {
+	for i := 0; i < n; i++ {
+		tid := i % h.cfg.Threads
+		th := h.threads[tid]
+		if c := th.Run(func() { h.step(tid, i) }); c != nil {
+			if err := h.dispatch(c, onCrash); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// scriptedKillRecover kills one thread cleanly and recovers it, which is
+// what routes every profiling and sweep run through RecoverThread (and
+// therefore through the recover.* crash points).
+func (h *harness) scriptedKillRecover(onCrash crashHandler) error {
+	tid := h.killTID()
+	heap := h.pod.Heap()
+	if heap.Alive(tid) {
+		h.threads[tid].Kill()
+	}
+	var rep cxlalloc.RecoveryReport
+	var th *cxlalloc.Thread
+	var rerr error
+	c := crash.Run(func() {
+		th, rep, rerr = h.procs[h.procIdx(tid)].Recover(tid)
+	})
+	if c != nil {
+		// The armed point fired inside recovery itself. Drain the aborted
+		// recovery's cache and let the failure-mode handler converge —
+		// proving recovery is re-runnable.
+		heap.MarkCrashed(c.TID)
+		return h.dispatch(c, onCrash)
+	}
+	if rerr != nil {
+		if errors.Is(rerr, cxlalloc.ErrNotCrashed) {
+			return nil // an earlier crash handler already revived the slot
+		}
+		return fmt.Errorf("scripted recovery: %w", rerr)
+	}
+	h.threads[tid] = th
+	if rep.PendingAlloc != 0 {
+		h.addLive(rep.PendingAlloc)
+	}
+	return h.checkAll()
+}
+
+// drain frees every live pointer, runs Maintain everywhere, and audits.
+func (h *harness) drain(onCrash crashHandler) error {
+	for i := 0; len(h.live) > 0; i++ {
+		p := h.live[len(h.live)-1]
+		h.live = h.live[:len(h.live)-1]
+		tid := i % h.cfg.Threads
+		th := h.threads[tid]
+		if c := th.Run(func() { th.Free(p) }); c != nil {
+			if err := h.dispatch(c, onCrash); err != nil {
+				return err
+			}
+		}
+	}
+	for tid := 0; tid < h.cfg.Threads; tid++ {
+		th := h.threads[tid]
+		if c := th.Run(th.Maintain); c != nil {
+			if err := h.dispatch(c, onCrash); err != nil {
+				return err
+			}
+			// Re-run the interrupted maintenance after recovery.
+			if c2 := h.threads[tid].Run(h.threads[tid].Maintain); c2 != nil {
+				return fmt.Errorf("maintenance crashed twice: %v", c2)
+			}
+		}
+	}
+	return h.checkAll()
+}
+
+// dispatch routes a fired crash to the handler, which must leave every
+// thread slot alive again.
+func (h *harness) dispatch(c *crash.Crashed, onCrash crashHandler) error {
+	if onCrash == nil {
+		return fmt.Errorf("unexpected crash: %v", c)
+	}
+	if err := onCrash(c); err != nil {
+		return err
+	}
+	for tid := range h.threads {
+		if !h.pod.Heap().Alive(tid) {
+			return fmt.Errorf("thread %d still dead after crash handling", tid)
+		}
+	}
+	return nil
+}
+
+// handleCrash is the failure-mode response used by sweep runs: disarm,
+// prove survivors are not blocked, recover (thread or whole process),
+// and check every invariant.
+func (h *harness) handleCrash(c *crash.Crashed, mode Mode) error {
+	h.inj.Disarm()
+	switch mode {
+	case ModeThreadCrash:
+		return h.recoverThreadCrash(c.TID)
+	case ModeProcessCrash:
+		return h.recoverProcessCrash(c.TID)
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+}
+
+func (h *harness) recoverThreadCrash(tid int) error {
+	if err := h.survivorOps(40); err != nil {
+		return err
+	}
+	th, rep, err := h.procs[h.procIdx(tid)].Recover(tid)
+	if err != nil {
+		return fmt.Errorf("thread recovery: %w", err)
+	}
+	h.threads[tid] = th
+	if rep.PendingAlloc != 0 {
+		h.addLive(rep.PendingAlloc)
+	}
+	return h.checkAll()
+}
+
+func (h *harness) recoverProcessCrash(tid int) error {
+	pi := h.procIdx(tid)
+	proc := h.procs[pi]
+	h.pod.KillProcess(proc)
+	if err := h.survivorOps(40); err != nil {
+		return err
+	}
+	np, reports, err := proc.Restart()
+	if err != nil {
+		return fmt.Errorf("process restart: %w", err)
+	}
+	h.procs[pi] = np
+	for _, rep := range reports {
+		if rep.PendingAlloc != 0 {
+			h.addLive(rep.PendingAlloc)
+		}
+	}
+	for _, ntid := range np.TIDs() {
+		th, err := np.Thread(ntid)
+		if err != nil {
+			return fmt.Errorf("rebinding tid %d: %w", ntid, err)
+		}
+		h.threads[ntid] = th
+	}
+	return h.checkAll()
+}
+
+// survivorOps proves the non-blocking property: while the victim is
+// dead, every surviving thread keeps allocating and freeing.
+func (h *harness) survivorOps(n int) error {
+	heap := h.pod.Heap()
+	done := 0
+	for i := 0; done < n && i < 10*n; i++ {
+		tid := i % h.cfg.Threads
+		if !heap.Alive(tid) {
+			continue
+		}
+		th := h.threads[tid]
+		if c := th.Run(func() { h.step(tid, i) }); c != nil {
+			return fmt.Errorf("survivor crashed with injector disarmed: %v", c)
+		}
+		done++
+	}
+	if done == 0 {
+		return errors.New("no surviving threads: non-blocking property unprovable")
+	}
+	return nil
+}
+
+// checkAll runs the full §5.1 invariant checker from a live thread.
+func (h *harness) checkAll() error {
+	tid := h.aliveTID()
+	if tid < 0 {
+		return errors.New("no live thread to check invariants from")
+	}
+	if err := h.pod.Heap().CheckAll(tid); err != nil {
+		return fmt.Errorf("invariant violation: %w", err)
+	}
+	return nil
+}
+
+// FormatReport renders the report for cxlbench.
+func FormatReport(r *Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", r.Summary())
+	fmt.Fprintf(&b, "  points instrumented: %d, fully swept: %d (modes: thread-crash, process-crash)\n",
+		r.Stats.CrashPointsInstrumented, r.Stats.CrashPointsSwept)
+	fmt.Fprintf(&b, "  nmp fault phase: faults=%d retries=%d fallbacks=%d completed=%v\n",
+		r.NMP.Faults, r.NMP.Retries, r.NMP.Fallbacks, r.NMP.Completed)
+	if len(r.Unswept) > 0 {
+		fmt.Fprintf(&b, "  UNSWEPT: %s\n", strings.Join(r.Unswept, ", "))
+	}
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "  VIOLATION: %s\n", v)
+	}
+	return b.String()
+}

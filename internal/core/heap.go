@@ -145,6 +145,13 @@ func (h *Heap) NMPStats() nmp.Stats {
 	return h.unit.Stats()
 }
 
+// NMP returns the heap's NMP unit, or nil unless the heap runs in mCAS
+// mode. Chaos harnesses use it to inject device faults.
+func (h *Heap) NMP() *nmp.Unit { return h.unit }
+
+// HWStats returns the atomic-operation layer's degraded-mode counters.
+func (h *Heap) HWStats() atomicx.HWStats { return h.hw.Stats() }
+
 // AttachThread binds thread slot tid to a process address space. The
 // thread starts with a cold cache. It is the caller's responsibility
 // that each live thread slot has exactly one user (the paper pins
@@ -178,8 +185,19 @@ func (h *Heap) Alive(tid int) bool {
 // dirty cache lines eventually drain to memory (the paper's partial
 // failure model: a thread or process dies, the host and device do not).
 // Shared state is left exactly as the crash left it.
+//
+// MarkCrashed is idempotent: marking a never-attached slot is a no-op,
+// and re-marking an already-dead slot just drains whatever its current
+// cache incarnation holds (which matters when a crash fires inside
+// RecoverThread itself — the aborted recovery's cache must drain too).
 func (h *Heap) MarkCrashed(tid int) {
+	if tid < 0 || tid >= len(h.threads) {
+		return
+	}
 	ts := &h.threads[tid]
+	if !ts.attached || ts.cache == nil {
+		return
+	}
 	ts.alive = false
 	ts.cache.WritebackAll()
 }

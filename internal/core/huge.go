@@ -26,6 +26,20 @@ const (
 
 const hdInUseBit = uint64(1) << 32
 
+// Bits 33..48 of hdNext hold a generation counter, bumped every time the
+// descriptor is initialized for a new allocation and preserved by every
+// other hdNext write. A free's oplog record carries the generation so
+// recovery can distinguish "my free never marked the descriptor" from
+// "my free completed and the descriptor was reclaimed and reused while
+// my slot was dead" — without it, redoing the free would free the new
+// owner's allocation (ABA across recovery). Traversals read the next
+// link as uint32, so the extra bits are invisible to them.
+const hdGenShift = 33
+
+func hdGen(w0 uint64) uint16 { return uint16(w0 >> hdGenShift) }
+
+func hdGenField(gen uint16) uint64 { return uint64(gen) << hdGenShift }
+
 func (h *Heap) hugeLoad(ts *threadState, w int) uint64 {
 	return ts.cache.LoadFresh(w)
 }
@@ -117,19 +131,21 @@ func (h *Heap) hugeAlloc(ts *threadState, tid int, size uint64) (Ptr, error) {
 		}
 		h.writeOplog(tid, ts, opHugeAlloc, 0, uint16(id), 0)
 		h.crashPoint(tid, "huge.alloc.post-oplog")
-		// Initialize the descriptor with the free bit unset; it stays
-		// invisible (unlinked) until the head store below.
+		// Initialize the descriptor with the free bit unset and the next
+		// generation; it stays invisible (unlinked) until the head store
+		// below.
 		head := h.hugeLoad(ts, h.hugeHeadW(tid))
+		gen := hdGen(h.hugeLoad(ts, h.descW(id, hdNext))) + 1
 		h.hugeStore(ts, h.descW(id, hdOffset), off)
 		h.hugeStore(ts, h.descW(id, hdSize), size)
 		h.hugeStore(ts, h.descW(id, hdFree), 0)
-		h.hugeStore(ts, h.descW(id, hdNext), uint64(uint32(head))|hdInUseBit)
+		h.hugeStore(ts, h.descW(id, hdNext), uint64(uint32(head))|hdInUseBit|hdGenField(gen))
 		h.crashPoint(tid, "huge.alloc.post-desc")
 		// Publish the hazard offset before installing the mapping
 		// (hazard rule 1, §3.3.2). Done before linking so a full hazard
 		// list can roll back without touching shared-visible state.
 		if !h.tryPublishHazard(ts, tid, off) {
-			h.hugeStore(ts, h.descW(id, hdNext), 0)
+			h.hugeStore(ts, h.descW(id, hdNext), hdGenField(gen))
 			h.clearOplog(tid, ts)
 			h.freeDescSlot(ts, id)
 			ts.hugeFree.Add(off, size)
@@ -226,7 +242,11 @@ func (h *Heap) hugeFreePtr(ts *threadState, tid int, p Ptr) {
 		h.fail("huge heap: free %#x: no live descriptor (double free?)", p)
 	}
 	size := h.hugeLoad(ts, h.descW(id, hdSize))
-	h.writeOplog(tid, ts, opHugeFree, uint32(p/uint64(h.cfg.PageSize)), uint16(id), 0)
+	// The record carries the descriptor's generation: if the freeing
+	// thread crashes mid-free and the descriptor is reclaimed and reused
+	// before recovery runs, the redo must not touch the new incarnation.
+	gen := hdGen(h.hugeLoad(ts, h.descW(id, hdNext)))
+	h.writeOplog(tid, ts, opHugeFree, uint32(p/uint64(h.cfg.PageSize)), uint16(id), gen)
 	h.crashPoint(tid, "huge.free.post-oplog")
 	if h.hugeLoad(ts, h.descW(id, hdFree)) != 0 {
 		h.fail("huge heap: double free of %#x", p)
@@ -369,11 +389,12 @@ func (h *Heap) hugeReclaim(ts *threadState, tid int) {
 		h.writeOplog(tid, ts, opHugeReclaim, uint32(off/uint64(h.cfg.PageSize)), uint16(id), 0)
 		h.crashPoint(tid, "huge.reclaim.post-oplog")
 		// Unlink: the predecessor is either the list head word or a
-		// descriptor's next word; preserve the predecessor's inUse bit.
+		// descriptor's next word; preserve the predecessor's inUse bit
+		// and generation (both live above the 32-bit next link).
 		prev := h.hugeLoad(ts, prevW)
-		h.hugeStore(ts, prevW, prev&hdInUseBit|next)
+		h.hugeStore(ts, prevW, prev&^uint64(1<<32-1)|next)
 		h.crashPoint(tid, "huge.reclaim.post-unlink")
-		h.hugeStore(ts, h.descW(id, hdNext), 0) // clear inUse
+		h.hugeStore(ts, h.descW(id, hdNext), hdGenField(hdGen(w0))) // clear inUse, keep gen
 		h.crashPoint(tid, "huge.reclaim.post-clear")
 		ts.hugeFree.Add(off, size)
 		h.freeDescSlot(ts, id)

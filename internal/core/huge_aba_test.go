@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"cxlalloc/internal/crash"
+)
+
+// TestHugeFreeRecoveryABAReuse pins the descriptor-generation guard.
+//
+// The scenario (found by the chaos sweep): thread 2, which never mapped
+// the data and so holds no hazard for it, crashes mid-Free after the
+// free bit is durably set. The owner's maintenance sees free==1 with no
+// published hazards, reclaims the descriptor and the interval, and a
+// fresh allocation reuses the SAME descriptor slot at the SAME offset.
+// Thread 2's recovery then replays its opHugeFree record — which now
+// describes a descriptor that matches on (id, offset, inUse) but
+// belongs to a different allocation. Without the generation check the
+// redo would re-free the survivor's live block.
+func TestHugeFreeRecoveryABAReuse(t *testing.T) {
+	for _, point := range []string{"huge.free.post-bit", "huge.free.post-unmap"} {
+		t.Run(point, func(t *testing.T) {
+			e, inj := crashEnv(t) // tids 0,1 in proc 0; 2,3 in proc 1
+			size := int(e.cfg.HugeRegionSize)
+			p := e.alloc(0, size)
+			e.h.Bytes(0, p, 8)[0] = 7
+
+			// Thread 2 frees without ever touching the data: no hazard.
+			inj.Arm(point, 2, 0)
+			if c := crash.Run(func() { e.h.Free(2, p) }); c == nil {
+				t.Fatalf("free never crashed at %s", point)
+			}
+			inj.Disarm()
+			e.h.MarkCrashed(2)
+
+			// The owner retires its allocation-time hazard and reclaims:
+			// free bit is set and no hazards remain, so the slot and the
+			// interval return to the pools while thread 2 is still dead.
+			e.h.Maintain(0)
+			ts0 := e.h.ts(0)
+			if _, found := e.h.findDesc(ts0, 0, p); found {
+				t.Fatal("owner did not reclaim the crashed free")
+			}
+
+			// LIFO pools: the same size comes back at the same offset in
+			// the same descriptor slot — the ABA setup.
+			q := e.alloc(0, size)
+			if q != p {
+				t.Fatalf("allocation not reused (got %#x, want %#x); ABA scenario not reproduced", q, p)
+			}
+			e.h.Bytes(0, q, 8)[0] = 42
+
+			// Recover thread 2. Its opHugeFree record names (id, offset)
+			// that now describe the NEW allocation; the stale generation
+			// must make the redo a no-op.
+			if _, err := e.h.RecoverThread(2, e.spaces[1]); err != nil {
+				t.Fatalf("RecoverThread: %v", err)
+			}
+
+			id, found := e.h.findDesc(ts0, 0, q)
+			if !found {
+				t.Fatal("live descriptor vanished after recovery replayed the stale free")
+			}
+			if e.h.hugeLoad(ts0, e.h.descW(id, hdFree)) != 0 {
+				t.Fatal("recovery re-freed the reused descriptor (ABA)")
+			}
+			if got := e.h.Bytes(0, q, 8)[0]; got != 42 {
+				t.Fatalf("survivor data = %d, want 42", got)
+			}
+
+			// The survivor's pointer is still a valid, single-owner block.
+			e.h.Free(0, q)
+			e.h.Maintain(0)
+			e.h.Maintain(2)
+			e.checkAll(0)
+		})
+	}
+}

@@ -47,6 +47,19 @@ const (
 
 const opAMask = 1<<26 - 1
 
+// opCASBearing reports whether the record's ver field holds a
+// detectable-CAS version (and so must seed the recovered thread's
+// version counter). Other ops reuse the field for their own payload —
+// opHugeFree stores the descriptor generation there — and must not
+// leak it into the CAS version sequence.
+func opCASBearing(op int) bool {
+	switch op &^ opLargeBit {
+	case opExtend, opPopGlobal, opPushGlobal, opRemoteFree, opReserve:
+		return true
+	}
+	return false
+}
+
 // opName returns a human-readable op name (crash points reuse these).
 func opName(op int) string {
 	large := op&opLargeBit != 0

@@ -1,12 +1,32 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"cxlalloc/internal/atomicx"
 	"cxlalloc/internal/interval"
 	"cxlalloc/internal/vas"
 )
+
+// ErrNotCrashed is returned by RecoverThread when the slot is alive —
+// either it never crashed or an earlier Recover already brought it back.
+// Callers distinguish "nothing to recover" from real recovery failures
+// with errors.Is.
+var ErrNotCrashed = errors.New("core: thread not crashed")
+
+// RecoveryCrashPoints are the crash points instrumented inside
+// RecoverThread itself, in execution order. A crash at any of them leaves
+// the slot dead with its oplog record intact, and a second RecoverThread
+// call converges (§3.4.2: every redo handler is idempotent and the record
+// is only cleared after all rebuilds complete).
+var RecoveryCrashPoints = []string{
+	"recover.pre-redo",
+	"recover.post-redo",
+	"recover.post-rebuild-small",
+	"recover.post-rebuild-large",
+	"recover.post-rebuild-huge",
+}
 
 // Non-blocking recovery (§3.4.2). A crashed thread's slot is recovered
 // by (in order):
@@ -52,34 +72,46 @@ func (h *Heap) RecoverThread(tid int, space *vas.Space) (RecoveryReport, error) 
 		return RecoveryReport{}, fmt.Errorf("core: thread %d was never attached", tid)
 	}
 	if old.alive {
-		return RecoveryReport{}, fmt.Errorf("core: thread %d is alive, not crashed", tid)
+		return RecoveryReport{}, fmt.Errorf("core: thread %d is alive: %w", tid, ErrNotCrashed)
 	}
 	// Start cold: a fresh cache so recovery cannot observe the crashed
 	// incarnation's stale lines, and continue the version sequence from
-	// the flushed record so in-flight detectability is preserved.
+	// the flushed record so in-flight detectability is preserved. The
+	// slot stays dead (alive=false) until recovery completes, so a crash
+	// inside recovery leaves a slot that RecoverThread accepts again and
+	// invariant checks skip.
 	ts := &h.threads[tid]
 	*ts = threadState{
 		attached: true,
-		alive:    true,
 		cache:    h.dev.NewCache(),
 		space:    space,
 	}
 	rec := h.readOplog(tid, ts)
 	op, a, b, ver := unpackOp(rec)
-	ts.ver = ver
+	if opCASBearing(op) {
+		ts.ver = ver
+	}
+	h.crashPoint(tid, "recover.pre-redo")
 
 	report := RecoveryReport{TID: tid, Op: opName(op)}
 	h.redo(ts, tid, op, a, b, ver, &report)
+	h.crashPoint(tid, "recover.post-redo")
 
 	// Rebuild single-writer and volatile state.
 	h.small.rebuildLocal(ts, tid)
+	h.crashPoint(tid, "recover.post-rebuild-small")
 	h.large.rebuildLocal(ts, tid)
+	h.crashPoint(tid, "recover.post-rebuild-large")
 	h.rebuildHuge(ts, tid)
+	h.crashPoint(tid, "recover.post-rebuild-huge")
 
-	// Mark the slot clean.
+	// Mark the slot clean, then alive. The record is cleared only after
+	// every redo and rebuild finished: re-running recovery up to this
+	// point redoes the same idempotent work from the same record.
 	ts.cache.Store(h.lay.oplogW(tid), packOp(opNone, 0, 0, 0))
 	ts.cache.Flush(h.lay.oplogW(tid))
 	ts.cache.Fence()
+	ts.alive = true
 	return report, nil
 }
 
@@ -201,7 +233,7 @@ func (h *Heap) redo(ts *threadState, tid, op int, a uint32, b uint16, ver uint16
 		h.redoHugeAlloc(ts, tid, int(b), report)
 
 	case opHugeFree:
-		h.redoHugeFree(ts, tid, int(b), uint64(a)*uint64(h.cfg.PageSize))
+		h.redoHugeFree(ts, tid, int(b), uint64(a)*uint64(h.cfg.PageSize), ver)
 
 	case opHugeUnmap:
 		h.redoHugeUnmap(ts, tid, int(b), uint64(a)*uint64(h.cfg.PageSize))
@@ -226,6 +258,10 @@ func (h *Heap) redoSteal(ts *threadState, tid int, s *slabHeap, idx int) {
 		// links owner==tid, class==0 slabs into the unsized list).
 		s.setOwnerClass(ts, idx, uint16(tid+1), 0)
 	}
+	// Overwrite the old owner's detach-published w0 on the device, as
+	// steal itself does — a crash between the countdown decrement and
+	// steal's durable clear must not leave owner==old-owner fetchable.
+	s.flushDesc(ts, idx)
 }
 
 func (h *Heap) redoHugeAlloc(ts *threadState, tid, id int, report *RecoveryReport) {
@@ -247,12 +283,18 @@ func (h *Heap) redoHugeAlloc(ts *threadState, tid, id int, report *RecoveryRepor
 	// The hazard may have been published between the descriptor write
 	// and the link; retire it too.
 	h.removeHazard(ts, tid, off)
-	h.hugeStore(ts, h.descW(id, hdNext), 0)
+	h.hugeStore(ts, h.descW(id, hdNext), hdGenField(hdGen(w0)))
 }
 
-func (h *Heap) redoHugeFree(ts *threadState, tid, id int, off uint64) {
+// redoHugeFree completes an interrupted free, but only against the same
+// descriptor incarnation the free targeted: a freeing thread holds no
+// hazard for offsets it never mapped, so once the free bit landed the
+// owner may reclaim AND reuse the descriptor while this slot is dead.
+// The recorded generation detects that — on mismatch the free already
+// completed and the redo must leave the new allocation alone.
+func (h *Heap) redoHugeFree(ts *threadState, tid, id int, off uint64, gen uint16) {
 	w0 := h.hugeLoad(ts, h.descW(id, hdNext))
-	if w0&hdInUseBit != 0 && h.hugeLoad(ts, h.descW(id, hdOffset)) == off {
+	if w0&hdInUseBit != 0 && hdGen(w0) == gen && h.hugeLoad(ts, h.descW(id, hdOffset)) == off {
 		size := h.hugeLoad(ts, h.descW(id, hdSize))
 		if h.hugeLoad(ts, h.descW(id, hdFree)) == 0 {
 			h.hugeStore(ts, h.descW(id, hdFree), 1)
@@ -282,10 +324,11 @@ func (h *Heap) redoHugeReclaim(ts *threadState, tid, id int, off uint64) {
 		h.hugeLoad(ts, h.descW(id, hdFree)) == 0 {
 		return // descriptor already reused for a new allocation
 	}
-	// Complete: unlink if still linked, then clear the in-use bit. The
-	// interval rebuild will see the slot as free space.
+	// Complete: unlink if still linked, then clear the in-use bit
+	// (keeping the generation). The interval rebuild will see the slot
+	// as free space.
 	h.hugeUnlink(ts, tid, id)
-	h.hugeStore(ts, h.descW(id, hdNext), 0)
+	h.hugeStore(ts, h.descW(id, hdNext), hdGenField(hdGen(w0)))
 }
 
 // hugeUnlink removes descriptor id from tid's list if present.
@@ -297,7 +340,7 @@ func (h *Heap) hugeUnlink(ts *threadState, tid, id int) {
 		next := h.hugeLoad(ts, h.descW(curID, hdNext))
 		if curID == id {
 			prev := h.hugeLoad(ts, prevW)
-			h.hugeStore(ts, prevW, prev&hdInUseBit|uint64(uint32(next)))
+			h.hugeStore(ts, prevW, prev&^uint64(1<<32-1)|uint64(uint32(next)))
 			return
 		}
 		prevW = h.descW(curID, hdNext)
@@ -376,9 +419,10 @@ func (h *Heap) rebuildHuge(ts *threadState, tid int) {
 		}
 		if !reachable[id] {
 			// Relink at the head; a single head store keeps the list
-			// well-formed for concurrent walkers.
+			// well-formed for concurrent walkers. Keep the generation.
 			head := h.hugeLoad(ts, h.hugeHeadW(tid))
-			h.hugeStore(ts, h.descW(id, hdNext), uint64(uint32(head))|hdInUseBit)
+			h.hugeStore(ts, h.descW(id, hdNext),
+				uint64(uint32(head))|hdInUseBit|hdGenField(hdGen(w0)))
 			h.hugeStore(ts, h.hugeHeadW(tid), uint64(id+1))
 			reachable[id] = true
 		}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"testing"
+
+	"cxlalloc/internal/crash"
+)
+
+// Crash-during-recovery (§3.4.2): RecoverThread is itself instrumented
+// with crash points, and a second RecoverThread call after a crash at
+// any of them must converge to an invariant-clean heap. This holds
+// because the slot stays dead until recovery completes, the oplog record
+// is cleared only at the very end, and every redo handler is idempotent.
+
+// crashDuringRecovery drives tid 0 into a crash mid-operation, then
+// crashes the recovery itself at recoverPoint, then recovers again.
+func crashDuringRecovery(t *testing.T, opPoint, recoverPoint string) {
+	e, inj := crashEnv(t)
+	inj.Arm(opPoint, 0, 0)
+	var leftovers []Ptr
+	if c := crash.Run(func() { leftovers = crashScenarios[opPoint](e) }); c == nil {
+		t.Fatalf("scenario never reached %q", opPoint)
+	}
+	e.h.MarkCrashed(0)
+	inj.Disarm()
+
+	// First recovery attempt dies at recoverPoint.
+	inj.Arm(recoverPoint, 0, 0)
+	c := crash.Run(func() {
+		if _, err := e.h.RecoverThread(0, e.spaces[0]); err != nil {
+			t.Errorf("RecoverThread: %v", err)
+		}
+	})
+	if c == nil {
+		t.Fatalf("recovery never reached %q", recoverPoint)
+	}
+	if c.Point != recoverPoint {
+		t.Fatalf("crashed at %q, want %q", c.Point, recoverPoint)
+	}
+	inj.Disarm()
+	// The aborted recovery's cache must drain like any other crash.
+	e.h.MarkCrashed(0)
+	if e.h.Alive(0) {
+		t.Fatal("slot alive after crash inside recovery")
+	}
+
+	// Live threads still are not blocked.
+	p := e.alloc(1, 64)
+	e.h.Free(1, p)
+
+	// Second recovery converges.
+	rep, err := e.h.RecoverThread(0, e.spaces[0])
+	if err != nil {
+		t.Fatalf("second RecoverThread: %v", err)
+	}
+	if rep.PendingAlloc != 0 {
+		e.h.Free(0, rep.PendingAlloc)
+	}
+	for _, lp := range leftovers {
+		e.h.Free(1, lp)
+	}
+	e.checkAll(1)
+	if leaked := e.leakedSlabs(e.h.small); len(leaked) != 0 {
+		t.Fatalf("slabs leaked across crash-during-recovery: %v", leaked)
+	}
+
+	// The twice-recovered thread is fully functional.
+	var ps []Ptr
+	for i := 0; i < 2*smallBlocks(e); i++ {
+		ps = append(ps, e.alloc(0, smallMax))
+	}
+	for _, pp := range ps {
+		e.h.Free(0, pp)
+	}
+	hp := e.alloc(0, largeMax+1)
+	e.h.Free(0, hp)
+	e.h.Maintain(0)
+	e.h.Maintain(1)
+	e.checkAll(0)
+}
+
+// TestRecoveryCrashIdempotent sweeps every recovery crash point against
+// a representative set of in-flight operations (one per heap and per
+// redo family with real work to redo).
+func TestRecoveryCrashIdempotent(t *testing.T) {
+	opPoints := []string{
+		"small.alloc.post-take",      // pending allocation to re-detect
+		"small.push-global.pre-cas",  // detectable-CAS redo
+		"small.remote-free.post-cas", // remote-free completion
+		"huge.alloc.post-link",       // huge descriptor + hazard redo
+		"huge.free.post-oplog",       // huge free completion + unmap
+	}
+	for _, op := range opPoints {
+		for _, rp := range RecoveryCrashPoints {
+			t.Run(op+"/"+rp, func(t *testing.T) {
+				crashDuringRecovery(t, op, rp)
+			})
+		}
+	}
+}
+
+// TestRecoveryCrashTwice crashes recovery at two different stages in
+// sequence; the third attempt must still converge.
+func TestRecoveryCrashTwice(t *testing.T) {
+	e, inj := crashEnv(t)
+	inj.Arm("small.push-global.pre-cas", 0, 0)
+	if c := crash.Run(func() { crashScenarios["small.push-global.pre-cas"](e) }); c == nil {
+		t.Fatal("scenario never crashed")
+	}
+	e.h.MarkCrashed(0)
+	inj.Disarm()
+
+	for _, rp := range []string{"recover.pre-redo", "recover.post-rebuild-huge"} {
+		inj.Arm(rp, 0, 0)
+		if c := crash.Run(func() { e.h.RecoverThread(0, e.spaces[0]) }); c == nil {
+			t.Fatalf("recovery never reached %q", rp)
+		}
+		inj.Disarm()
+		e.h.MarkCrashed(0)
+	}
+	rep, err := e.h.RecoverThread(0, e.spaces[0])
+	if err != nil {
+		t.Fatalf("third RecoverThread: %v", err)
+	}
+	if rep.PendingAlloc != 0 {
+		e.h.Free(0, rep.PendingAlloc)
+	}
+	if leaked := e.leakedSlabs(e.h.small); len(leaked) != 0 {
+		t.Fatalf("slabs leaked: %v", leaked)
+	}
+	e.checkAll(0)
+}
+
+// TestRecoveryCrashIntoFreshProcess models the compound failure: a
+// thread crashes, its process dies, and the restarted process's recovery
+// itself crashes before converging on the second attempt.
+func TestRecoveryCrashIntoFreshProcess(t *testing.T) {
+	e, inj := crashEnv(t)
+	inj.Arm("huge.alloc.post-link", 0, 0)
+	if c := crash.Run(func() { crashScenarios["huge.alloc.post-link"](e) }); c == nil {
+		t.Fatal("scenario never crashed")
+	}
+	e.h.MarkCrashed(0)
+	inj.Disarm()
+
+	// Recover into process 1's space (process 0 died); crash mid-way.
+	inj.Arm("recover.post-redo", 0, 0)
+	if c := crash.Run(func() { e.h.RecoverThread(0, e.spaces[1]) }); c == nil {
+		t.Fatal("recovery never reached recover.post-redo")
+	}
+	inj.Disarm()
+	e.h.MarkCrashed(0)
+
+	rep, err := e.h.RecoverThread(0, e.spaces[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PendingAlloc != 0 {
+		e.h.Free(0, rep.PendingAlloc)
+	}
+	e.h.Maintain(0)
+	e.checkAll(0)
+}

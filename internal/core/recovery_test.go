@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -13,6 +14,7 @@ func crashEnv(t *testing.T) (*env, *crash.Injector) {
 	cfg := testConfig()
 	cfg.CheckInvariants = false // checked explicitly after recovery
 	inj := crash.NewInjector()
+	inj.EnableCoverage() // visit counting stays exact even when unarmed
 	cfg.Crash = inj
 	e := newEnv(t, cfg, 2, 2) // tids 0,1 in proc 0; 2,3 in proc 1
 	return e, inj
@@ -72,6 +74,7 @@ var crashScenarios = map[string]func(e *env) []Ptr{
 		return nil
 	},
 	"small.steal.post-oplog":     stealScenario,
+	"small.steal.post-clear":     stealScenario,
 	"small.steal.post-push":      stealScenario,
 	"small.push-global.pre-cas":  spillScenario,
 	"small.push-global.post-cas": spillScenario,
@@ -421,15 +424,45 @@ func TestBlackBoxRandomCrashRecovery(t *testing.T) {
 
 func TestRecoverErrors(t *testing.T) {
 	e, _ := crashEnv(t)
-	if _, err := e.h.RecoverThread(0, e.spaces[0]); err == nil {
-		t.Fatal("recovered a live thread")
+	// A live (never-crashed) slot is the typed ErrNotCrashed.
+	if _, err := e.h.RecoverThread(0, e.spaces[0]); !errors.Is(err, ErrNotCrashed) {
+		t.Fatalf("recovering a live thread: err = %v, want ErrNotCrashed", err)
 	}
-	if _, err := e.h.RecoverThread(7, e.spaces[0]); err == nil {
-		t.Fatal("recovered a never-attached thread")
+	// So is an already-recovered slot.
+	e.h.MarkCrashed(0)
+	if _, err := e.h.RecoverThread(0, e.spaces[0]); err != nil {
+		t.Fatal(err)
 	}
-	if _, err := e.h.RecoverThread(-1, e.spaces[0]); err == nil {
-		t.Fatal("recovered tid -1")
+	if _, err := e.h.RecoverThread(0, e.spaces[0]); !errors.Is(err, ErrNotCrashed) {
+		t.Fatalf("recovering twice: err = %v, want ErrNotCrashed", err)
 	}
+	// Never-attached and out-of-range slots are plain errors, not
+	// ErrNotCrashed: there is no slot state to speak about.
+	if _, err := e.h.RecoverThread(7, e.spaces[0]); err == nil || errors.Is(err, ErrNotCrashed) {
+		t.Fatalf("recovering a never-attached thread: err = %v", err)
+	}
+	if _, err := e.h.RecoverThread(-1, e.spaces[0]); err == nil || errors.Is(err, ErrNotCrashed) {
+		t.Fatalf("recovering tid -1: err = %v", err)
+	}
+}
+
+// MarkCrashed is idempotent: re-marking a dead slot or marking a
+// never-attached one must not panic and must not corrupt state.
+func TestMarkCrashedIdempotent(t *testing.T) {
+	e, _ := crashEnv(t)
+	e.h.MarkCrashed(5)  // never attached: no-op
+	e.h.MarkCrashed(-1) // out of range: no-op
+	p := e.alloc(0, 64)
+	e.h.MarkCrashed(0)
+	e.h.MarkCrashed(0) // second mark: drains again, stays dead
+	if e.h.Alive(0) {
+		t.Fatal("thread alive after MarkCrashed")
+	}
+	if _, err := e.h.RecoverThread(0, e.spaces[0]); err != nil {
+		t.Fatal(err)
+	}
+	e.h.Free(0, p)
+	e.checkAll(0)
 }
 
 // A crash with no operation in flight recovers to a clean, working state.

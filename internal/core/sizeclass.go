@@ -13,6 +13,11 @@ const (
 	largeMax = 512 << 10 // 512 KiB
 )
 
+// SmallMax and LargeMax expose the size-class boundaries so harnesses
+// (chaos, bench) can shape workloads that exercise all three heaps.
+func SmallMax() int { return smallMax }
+func LargeMax() int { return largeMax }
+
 // smallClassSizes[c] is the block size of small class c (c >= 1).
 var smallClassSizes = []int{
 	0, // class 0: none

@@ -289,12 +289,18 @@ func (s *slabHeap) fullTransition(ts *threadState, tid, idx, class, total int) {
 	if remote == uint32(total) || s.h.cfg.NoDisown {
 		s.h.writeOplog(tid, ts, s.opc(opDetach), uint32(idx), uint16(class), 0)
 		s.cp(tid, "detach.post-oplog")
-		// Ownership may change (a steal) once detached: publish the
-		// descriptor before unlinking (§3.2.2).
-		s.flushDesc(ts, idx)
-		s.cp(tid, "detach.post-flush")
+		// Unlink first, flush last. The unlink walk reads this slab's
+		// next pointer, so flushing before it would leave the line
+		// resident again — and once the slab is stolen and reinitialized
+		// that copy goes stale with owner==me still set, misrouting a
+		// future free of the new incarnation down the local path. The
+		// final flush both publishes the descriptor for the eventual
+		// stealer (§3.2.2) and evicts our copy, so every later read
+		// re-fetches the device word the stealer durably overwrites.
 		s.tlUnlink(ts, s.localW(tid, class), idx)
 		s.cp(tid, "detach.post-unlink")
+		s.flushDesc(ts, idx)
+		s.cp(tid, "detach.post-flush")
 	} else {
 		s.h.writeOplog(tid, ts, s.opc(opDisown), uint32(idx), uint16(class), 0)
 		s.cp(tid, "disown.post-oplog")
@@ -523,6 +529,16 @@ func (s *slabHeap) steal(ts *threadState, tid, idx int) {
 	s.h.writeOplog(tid, ts, s.opc(opSteal), uint32(idx), 0, 0)
 	s.cp(tid, "steal.post-oplog")
 	s.flushDesc(ts, idx) // drop stale cached lines before adopting
+	// The device still holds the w0 the old owner published at detach
+	// (owner = old owner). Durably clear it before the slab can be
+	// reinitialized: otherwise the old owner's next miss on this line
+	// re-fetches owner==me and misroutes a free of the NEW incarnation
+	// down the local path — the one stale outcome the §3.2.2 case
+	// analysis cannot tolerate. pushGlobal and disown already publish
+	// a cleared owner for the same reason.
+	s.setOwnerClass(ts, idx, 0, 0)
+	s.flushDesc(ts, idx)
+	s.cp(tid, "steal.post-clear")
 	s.pushUnsized(ts, tid, idx)
 	s.cp(tid, "steal.post-push")
 }
@@ -532,6 +548,11 @@ func (s *slabHeap) steal(ts *threadState, tid, idx int) {
 func (s *slabHeap) usableSize(ts *threadState, p Ptr) int {
 	idx := s.slabOf(p)
 	class := w0Class(ts.cache.LoadFresh(s.descW0(idx)))
+	// Evict the freshly fetched line: keeping it resident would pin a
+	// copy that turns stale if this slab is later stolen and
+	// reinitialized — if we are its detached owner, that stale copy
+	// would misroute a future free of the new incarnation.
+	s.flushDesc(ts, idx)
 	if class == 0 {
 		s.h.fail("%s heap: UsableSize(%#x) on unsized slab %d", s.name, p, idx)
 	}

@@ -77,3 +77,44 @@ func (h *Heap) CacheStatsFor(tid int) (loads, hits, flushes, fences uint64) {
 func (s *slabHeap) remoteCount(tid, idx int) uint32 {
 	return atomicx.Payload(s.h.dcas.Load(tid, s.hwBase+idx))
 }
+
+// Stats is the robustness counter block: crash-point sweep coverage and
+// degraded-mode operation counts. The chaos harness fills the sweep
+// fields from its coverage report; the heap fills the hardware-path
+// counters. Future PRs assert these never regress.
+type Stats struct {
+	// CrashPointsInstrumented is the number of distinct crash points a
+	// profiling run discovered in the allocator.
+	CrashPointsInstrumented int
+	// CrashPointsSwept is how many of those points a chaos sweep has
+	// exercised under every sweep mode.
+	CrashPointsSwept int
+
+	// HWCASFallbacks counts CASes completed via the sw_flush_cas fallback
+	// after the NMP unit faulted (graceful degradation).
+	HWCASFallbacks uint64
+	// MCASFaults / MCASRetries count faulted mCAS attempts and the
+	// bounded retries they triggered.
+	MCASFaults  uint64
+	MCASRetries uint64
+	// NMPFaultsInjected is the device-side count of injected faults.
+	NMPFaultsInjected uint64
+}
+
+// Stats returns the heap's robustness counters. Sweep coverage fields
+// are zero here; the chaos harness overlays them.
+func (h *Heap) Stats() Stats {
+	hs := h.hw.Stats()
+	st := Stats{
+		HWCASFallbacks: hs.Fallbacks,
+		MCASFaults:     hs.MCASFaults,
+		MCASRetries:    hs.MCASRetries,
+	}
+	if h.cfg.Crash != nil {
+		st.CrashPointsInstrumented = len(h.cfg.Crash.PointNames())
+	}
+	if h.unit != nil {
+		st.NMPFaultsInjected = h.unit.Stats().FaultsInjected
+	}
+	return st
+}

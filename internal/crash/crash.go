@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"cxlalloc/internal/xrand"
 )
@@ -31,17 +32,31 @@ func (c *Crashed) Error() string {
 	return fmt.Sprintf("crash: thread %d crashed at %q", c.TID, c.Point)
 }
 
+// Injector state bits, packed into an atomic word so Point can decide
+// "nothing to do" with a single load instead of a mutex acquisition.
+const (
+	stateArmed    = 1 << 0 // deterministic or random arming active
+	stateCoverage = 1 << 1 // visit counting explicitly requested
+)
+
 // Injector decides which crash points fire. A nil *Injector is inert and
-// costs one branch per point, so production paths keep their hooks. All
+// costs one branch per point; a non-nil injector with nothing armed and
+// coverage collection off costs one atomic load, so instrumented hot
+// paths do not serialize simulated threads through a global mutex. All
 // methods are safe for concurrent use.
+//
+// Visit counts (Points/PointNames) are exact while any point is armed or
+// after EnableCoverage; otherwise visits are not recorded at all.
 type Injector struct {
-	mu      sync.Mutex
-	armed   map[string]map[int]int // point -> tid -> remaining visits before firing
-	prob    float64                // random crash probability per visit
-	probTID map[int]bool           // nil = all threads eligible
-	rng     *xrand.Rand
-	hits    map[string]uint64 // visits per point (coverage)
-	fired   map[string]uint64
+	state    atomic.Uint32
+	mu       sync.Mutex
+	armed    map[string]map[int]int // point -> tid -> remaining visits before firing
+	prob     float64                // random crash probability per visit
+	probTID  map[int]bool           // nil = all threads eligible
+	rng      *xrand.Rand
+	covering bool              // EnableCoverage called
+	hits     map[string]uint64 // visits per point (coverage)
+	fired    map[string]uint64
 }
 
 // NewInjector returns an injector with nothing armed.
@@ -64,6 +79,7 @@ func (in *Injector) Arm(point string, tid, after int) {
 		in.armed[point] = m
 	}
 	m[tid] = after
+	in.refreshState()
 }
 
 // ArmRandom makes every visit to every point by an eligible thread crash
@@ -81,6 +97,7 @@ func (in *Injector) ArmRandom(p float64, seed uint64, tids ...int) {
 	} else {
 		in.probTID = nil
 	}
+	in.refreshState()
 }
 
 // Disarm clears all armed points and random crashing.
@@ -90,14 +107,47 @@ func (in *Injector) Disarm() {
 	in.armed = make(map[string]map[int]int)
 	in.prob = 0
 	in.probTID = nil
+	in.refreshState()
+}
+
+// EnableCoverage turns on visit counting even while nothing is armed.
+// Profiling runs use it to discover every instrumented crash point.
+func (in *Injector) EnableCoverage() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.covering = true
+	in.refreshState()
+}
+
+// refreshState recomputes the fast-path word. Callers hold in.mu.
+func (in *Injector) refreshState() {
+	var s uint32
+	if in.prob > 0 {
+		s |= stateArmed
+	}
+	for _, m := range in.armed {
+		if len(m) > 0 {
+			s |= stateArmed
+			break
+		}
+	}
+	if in.covering {
+		s |= stateCoverage
+	}
+	in.state.Store(s)
 }
 
 // Point is the hook compiled into the allocator. It panics with *Crashed
-// if the point is armed for tid. A nil receiver is a no-op.
+// if the point is armed for tid. A nil receiver is a no-op; a non-nil
+// receiver with nothing armed and coverage off costs one atomic load.
 func (in *Injector) Point(tid int, point string) {
-	if in == nil {
+	if in == nil || in.state.Load() == 0 {
 		return
 	}
+	in.pointSlow(tid, point)
+}
+
+func (in *Injector) pointSlow(tid int, point string) {
 	in.mu.Lock()
 	in.hits[point]++
 	if m, ok := in.armed[point]; ok {
@@ -105,6 +155,7 @@ func (in *Injector) Point(tid int, point string) {
 			if remaining == 0 {
 				delete(m, tid)
 				in.fired[point]++
+				in.refreshState()
 				in.mu.Unlock()
 				panic(&Crashed{TID: tid, Point: point})
 			}

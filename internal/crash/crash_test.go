@@ -93,6 +93,7 @@ func TestDisarm(t *testing.T) {
 
 func TestCoverageCounters(t *testing.T) {
 	in := NewInjector()
+	in.EnableCoverage()
 	Run(func() {
 		in.Point(0, "a")
 		in.Point(0, "a")
@@ -105,6 +106,40 @@ func TestCoverageCounters(t *testing.T) {
 	names := in.PointNames()
 	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
 		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestIdleInjectorSkipsCounting(t *testing.T) {
+	// Nothing armed, coverage off: the fast path must not record visits.
+	in := NewInjector()
+	in.Point(0, "a")
+	if pts := in.Points(); len(pts) != 0 {
+		t.Fatalf("idle injector counted visits: %v", pts)
+	}
+	// Counting is exact while a point is armed...
+	in.Arm("p", 9, 5)
+	in.Point(0, "a")
+	if pts := in.Points(); pts["a"] != 1 {
+		t.Fatalf("armed injector did not count: %v", pts)
+	}
+	// ...and stops again once the last armed point is cleared.
+	in.Disarm()
+	in.Point(0, "a")
+	if pts := in.Points(); pts["a"] != 1 {
+		t.Fatalf("disarmed injector counted: %v", pts)
+	}
+}
+
+func TestCountingStopsAfterLastArmedFires(t *testing.T) {
+	in := NewInjector()
+	in.Arm("p", 0, 0)
+	if c := Run(func() { in.Point(0, "p") }); c == nil {
+		t.Fatal("armed point did not fire")
+	}
+	// The fire consumed the only arming; the injector is idle again.
+	in.Point(0, "q")
+	if pts := in.Points(); pts["q"] != 0 {
+		t.Fatalf("idle injector counted after fire: %v", pts)
 	}
 }
 

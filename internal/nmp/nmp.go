@@ -25,10 +25,12 @@
 package nmp
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
 	"cxlalloc/internal/memsim"
+	"cxlalloc/internal/xrand"
 )
 
 // MaxThreads is the size of the unit's register array: one spwr/sprd
@@ -51,6 +53,47 @@ type Stats struct {
 	Successes uint64
 	Failures  uint64
 	Conflicts uint64 // operations failed by the same-address check
+	// FaultsInjected counts mCAS operations rejected by injected device
+	// faults (chaos testing; zero in normal operation).
+	FaultsInjected uint64
+}
+
+// FaultMode selects the class of injected device failure.
+type FaultMode int
+
+const (
+	// FaultNone disables fault injection.
+	FaultNone FaultMode = iota
+	// FaultTimeout models an op that is accepted but never completes:
+	// the requester pays the spwr+sprd latency and then observes a
+	// timeout instead of a result. Nothing is committed to memory.
+	FaultTimeout
+	// FaultUnavailable models a unit that rejects new operations
+	// outright (link down, unit resetting). The requester learns
+	// immediately; nothing is committed.
+	FaultUnavailable
+)
+
+// Fault-injection errors returned by TryMCAS.
+var (
+	ErrTimeout     = errors.New("nmp: mCAS operation timed out")
+	ErrUnavailable = errors.New("nmp: unit unavailable")
+)
+
+// FaultPlan arms fault injection on a unit. Faults apply only to mCAS
+// operations (the unit's compute path); plain Load/Store continue to
+// work, modeling a unit whose .mem data path survives while its
+// operation pipeline is down.
+//
+// With Prob == 0, the next Count mCAS attempts fault deterministically,
+// then the plan disarms. With Prob > 0, each attempt faults with that
+// probability (seeded, reproducible); Count > 0 then caps the total
+// number of injected faults, Count == 0 leaves the plan armed forever.
+type FaultPlan struct {
+	Mode  FaultMode
+	Count int
+	Prob  float64
+	Seed  uint64
 }
 
 // Unit is one NMP instance managing the device-biased region of a
@@ -61,9 +104,11 @@ type Unit struct {
 	dev *memsim.Device
 	lat *memsim.Latency
 
-	mu    sync.Mutex
-	regs  [MaxThreads]pending
-	stats Stats
+	mu     sync.Mutex
+	regs   [MaxThreads]pending
+	stats  Stats
+	faults FaultPlan
+	frng   *xrand.Rand
 }
 
 // New returns a unit managing dev's HWcc (device-biased) words, with
@@ -148,10 +193,83 @@ func (u *Unit) failCompeting(tid, addr int) {
 // MCAS performs a full spwr/sprd pair: compare word addr against expect
 // and, on match, write swap. It returns the previous value and whether
 // the swap was performed. This is the primitive cxlalloc substitutes for
-// CAS on pods with no HWcc.
+// CAS on pods with no HWcc. MCAS panics if a fault plan fires; callers
+// that must survive device faults use TryMCAS.
 func (u *Unit) MCAS(tid int, addr int, expect, swap uint64) (old uint64, ok bool) {
+	old, ok, err := u.TryMCAS(tid, addr, expect, swap)
+	if err != nil {
+		panic(fmt.Sprintf("nmp: MCAS on faulted unit: %v", err))
+	}
+	return old, ok
+}
+
+// TryMCAS is MCAS with device faults surfaced as errors. When an armed
+// FaultPlan fires, no spwr/sprd pair is issued and nothing is committed
+// to memory; the caller may retry or fall back to another coherence
+// path (atomicx degrades to sw_flush_cas).
+func (u *Unit) TryMCAS(tid int, addr int, expect, swap uint64) (old uint64, ok bool, err error) {
+	if err := u.maybeFault(); err != nil {
+		return 0, false, err
+	}
 	u.SpWr(tid, addr, expect, swap)
-	return u.SpRd(tid)
+	old, ok = u.SpRd(tid)
+	return old, ok, nil
+}
+
+// InjectFaults arms plan on the unit. A Mode of FaultNone (or ClearFaults)
+// disarms. Safe to call while operations are in flight.
+func (u *Unit) InjectFaults(plan FaultPlan) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.faults = plan
+	if plan.Prob > 0 {
+		u.frng = xrand.New(plan.Seed)
+	} else {
+		u.frng = nil
+	}
+}
+
+// ClearFaults disarms fault injection.
+func (u *Unit) ClearFaults() { u.InjectFaults(FaultPlan{}) }
+
+// maybeFault decides whether the current mCAS attempt faults, updating
+// the plan's budget. A timeout fault still costs the spwr/sprd latency
+// (the requester waited for a response that never came).
+func (u *Unit) maybeFault() error {
+	u.mu.Lock()
+	p := &u.faults
+	mode := p.Mode
+	fire := false
+	switch {
+	case mode == FaultNone:
+	case p.Prob > 0:
+		// Probabilistic, optionally capped at Count total faults.
+		if u.frng.Float64() < p.Prob && (p.Count == 0 || int(u.stats.FaultsInjected) < p.Count) {
+			fire = true
+		}
+	case p.Count > 0:
+		// Deterministic: the next Count attempts fault, then disarm.
+		fire = true
+		p.Count--
+		if p.Count == 0 {
+			p.Mode = FaultNone
+		}
+	default:
+		// Prob == 0, Count == 0: every attempt faults until cleared.
+		fire = true
+	}
+	if fire {
+		u.stats.FaultsInjected++
+	}
+	u.mu.Unlock()
+	if !fire {
+		return nil
+	}
+	if mode == FaultTimeout {
+		u.inject(func(l *memsim.Latency) { l.Inject(l.MCASSpWr + l.MCASSpRd) })
+		return ErrTimeout
+	}
+	return ErrUnavailable
 }
 
 // Load performs an uncached read of device-biased word addr through the

@@ -210,3 +210,99 @@ func TestMCASWithLatencyModel(t *testing.T) {
 		t.Fatal("swap lost")
 	}
 }
+
+func TestFaultDeterministicCount(t *testing.T) {
+	dev, u := newUnit()
+	dev.HWccStore(2, 5)
+	u.InjectFaults(FaultPlan{Mode: FaultTimeout, Count: 2})
+	for i := 0; i < 2; i++ {
+		if _, _, err := u.TryMCAS(0, 2, 5, 6); err != ErrTimeout {
+			t.Fatalf("attempt %d: err = %v, want ErrTimeout", i, err)
+		}
+		if got := dev.HWccLoad(2); got != 5 {
+			t.Fatalf("faulted attempt committed: %d", got)
+		}
+	}
+	// Budget exhausted: the plan disarms itself.
+	old, ok, err := u.TryMCAS(0, 2, 5, 6)
+	if err != nil || !ok || old != 5 {
+		t.Fatalf("post-fault mCAS: old=%d ok=%v err=%v", old, ok, err)
+	}
+	if got := dev.HWccLoad(2); got != 6 {
+		t.Fatalf("swap lost: %d", got)
+	}
+	if s := u.Stats(); s.FaultsInjected != 2 {
+		t.Fatalf("FaultsInjected = %d, want 2", s.FaultsInjected)
+	}
+}
+
+func TestFaultUnavailableUntilCleared(t *testing.T) {
+	dev, u := newUnit()
+	dev.HWccStore(3, 1)
+	u.InjectFaults(FaultPlan{Mode: FaultUnavailable})
+	for i := 0; i < 5; i++ {
+		if _, _, err := u.TryMCAS(1, 3, 1, 2); err != ErrUnavailable {
+			t.Fatalf("attempt %d: err = %v, want ErrUnavailable", i, err)
+		}
+	}
+	// MCAS (the panic wrapper) refuses to run on a faulted unit.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MCAS on faulted unit did not panic")
+			}
+		}()
+		u.MCAS(1, 3, 1, 2)
+	}()
+	// The data path survives while the compute path is down.
+	u.Store(1, 4, 9)
+	if got := u.Load(1, 4); got != 9 {
+		t.Fatalf("data path broken under faults: %d", got)
+	}
+	u.ClearFaults()
+	if _, ok, err := u.TryMCAS(1, 3, 1, 2); err != nil || !ok {
+		t.Fatalf("mCAS after ClearFaults: ok=%v err=%v", ok, err)
+	}
+	// 5 TryMCAS faults plus the one behind the MCAS panic.
+	if s := u.Stats(); s.FaultsInjected != 6 {
+		t.Fatalf("FaultsInjected = %d, want 6", s.FaultsInjected)
+	}
+}
+
+func TestFaultProbabilisticReproducible(t *testing.T) {
+	run := func() (faults uint64) {
+		dev, u := newUnit()
+		dev.HWccStore(0, 0)
+		u.InjectFaults(FaultPlan{Mode: FaultUnavailable, Prob: 0.5, Seed: 42})
+		for i := 0; i < 100; i++ {
+			cur := dev.HWccLoad(0)
+			u.TryMCAS(0, 0, cur, cur+1)
+		}
+		return u.Stats().FaultsInjected
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed, different fault counts: %d vs %d", a, b)
+	}
+	if a == 0 || a == 100 {
+		t.Fatalf("Prob=0.5 injected %d/100 faults", a)
+	}
+}
+
+func TestFaultProbabilisticCount(t *testing.T) {
+	dev, u := newUnit()
+	dev.HWccStore(0, 0)
+	u.InjectFaults(FaultPlan{Mode: FaultTimeout, Prob: 1.0, Count: 3, Seed: 1})
+	for i := 0; i < 3; i++ {
+		if _, _, err := u.TryMCAS(0, 0, 0, 1); err != ErrTimeout {
+			t.Fatalf("attempt %d: err = %v", i, err)
+		}
+	}
+	// The Count cap stops injection even though Prob still says fire.
+	if _, ok, err := u.TryMCAS(0, 0, 0, 1); err != nil || !ok {
+		t.Fatalf("capped plan still faulting: ok=%v err=%v", ok, err)
+	}
+	if s := u.Stats(); s.FaultsInjected != 3 {
+		t.Fatalf("FaultsInjected = %d, want 3", s.FaultsInjected)
+	}
+}

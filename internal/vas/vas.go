@@ -67,6 +67,7 @@ type Space struct {
 	faults   atomic.Uint64
 	installs atomic.Uint64
 	unmaps   atomic.Uint64
+	revoked  atomic.Bool
 }
 
 // NewSpace returns a space over dev's data region with the given page
@@ -103,6 +104,24 @@ func (s *Space) Stats() Stats {
 	}
 }
 
+// Revoke tears the space down, modeling process death: every mapping is
+// discarded (as the kernel would on exit) and all future installs and
+// resolves fault. Threads of a restarted process recover into a fresh
+// Space; a stale handle to the dead one surfaces as a segfault rather
+// than silently reading shared memory through discarded mappings.
+// Revoke is idempotent.
+func (s *Space) Revoke() {
+	if s.revoked.Swap(true) {
+		return
+	}
+	for i := range s.mapped {
+		atomic.StoreUint64(&s.mapped[i], 0)
+	}
+}
+
+// Revoked reports whether the space has been torn down.
+func (s *Space) Revoked() bool { return s.revoked.Load() }
+
 // Mapped reports whether page is installed in this space.
 func (s *Space) Mapped(page uint64) bool {
 	if page >= s.npages {
@@ -131,6 +150,9 @@ func (s *Space) MappedRange(off, n uint64) bool {
 func (s *Space) Install(off, n uint64) {
 	if n == 0 {
 		return
+	}
+	if s.revoked.Load() {
+		panic(&SegFault{Space: s.id, Off: off})
 	}
 	s.checkRange(off, n)
 	for p := off / s.pageSize; p <= (off+n-1)/s.pageSize; p++ {
@@ -182,6 +204,9 @@ func (s *Space) Unmap(off, n uint64) {
 func (s *Space) Resolve(tid int, off, n uint64) []byte {
 	if n == 0 {
 		return nil
+	}
+	if s.revoked.Load() {
+		panic(&SegFault{Space: s.id, Off: off})
 	}
 	s.checkRange(off, n)
 	first := off / s.pageSize

@@ -203,3 +203,40 @@ func TestTouchFaultsLikeResolve(t *testing.T) {
 		t.Fatal("Touch did not drive the fault handler")
 	}
 }
+
+// Revoke models process death: the mappings vanish and any access
+// through the stale space faults instead of touching pod memory.
+func TestRevokeDiscardsMappings(t *testing.T) {
+	_, s := newSpace(0)
+	s.SetHandler(func(tid int, sp *Space, page uint64) bool {
+		sp.Install(page*4096, 4096)
+		return true
+	})
+	b := s.Resolve(0, 100, 8)
+	b[0] = 0xab
+	if !s.Mapped(0) {
+		t.Fatal("page not mapped after resolve")
+	}
+
+	s.Revoke()
+	if !s.Revoked() {
+		t.Fatal("Revoked() false after Revoke")
+	}
+	s.Revoke() // idempotent
+	if s.Mapped(0) {
+		t.Fatal("mapping survived revoke")
+	}
+	for _, access := range []func(){
+		func() { s.Resolve(0, 100, 8) },
+		func() { s.Install(0, 4096) },
+	} {
+		func() {
+			defer func() {
+				if _, ok := recover().(*SegFault); !ok {
+					t.Error("access through revoked space did not segfault")
+				}
+			}()
+			access()
+		}()
+	}
+}

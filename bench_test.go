@@ -1,13 +1,18 @@
-package cxlalloc
+package cxlalloc_test
 
 // One testing.B benchmark per table and figure of the paper's
 // evaluation, each delegating to the internal/bench harness at a scale
 // sized for `go test -bench`. The cxlbench command runs the same
 // experiments at full scale; EXPERIMENTS.md records paper-vs-measured.
+//
+// This file is an external test package (cxlalloc_test): the harness
+// package itself imports cxlalloc (for the mttr experiment), so an
+// in-package import would be a cycle.
 
 import (
 	"testing"
 
+	"cxlalloc"
 	"cxlalloc/internal/bench"
 )
 
@@ -150,10 +155,10 @@ func BenchmarkAblationOwnerCache(b *testing.B) {
 
 // --- direct public-API benchmarks ---
 
-func benchPod(b *testing.B) (*Pod, *Thread) {
+func benchPod(b *testing.B) (*cxlalloc.Pod, *cxlalloc.Thread) {
 	b.Helper()
-	cfg := DefaultConfig()
-	pod, err := NewPod(cfg)
+	cfg := cxlalloc.DefaultConfig()
+	pod, err := cxlalloc.NewPod(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -70,7 +70,7 @@ func main() {
 	exps := strings.Split(*exp, ",")
 	if *exp == "all" {
 		exps = []string{"table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
-			"ablation-recovery", "ablation-owner-cache", "ablation-hwcc", "ablation-disown", "chaos"}
+			"ablation-recovery", "ablation-owner-cache", "ablation-hwcc", "ablation-disown", "chaos", "mttr"}
 	}
 
 	var all []bench.Row
@@ -124,6 +124,8 @@ func run(e string, sc bench.Scale, wl []string) ([]bench.Row, error) {
 		return bench.RunAblationDisown(sc, 0)
 	case "chaos":
 		return runChaos(sc)
+	case "mttr":
+		return bench.RunMTTR(sc)
 	default:
 		return nil, fmt.Errorf("unknown experiment %q", e)
 	}
@@ -147,11 +149,14 @@ func print(e string, rows []bench.Row) {
 // runChaos runs the robustness gate: every crash point the workload
 // discovers is swept under thread-crash and process-crash, plus a
 // seeded NMP fault run that must complete through the sw_flush_cas
-// fallback. A failed gate is a hard error (non-zero exit).
+// fallback. The pod runs with AutoRecover: the harness makes no
+// explicit recovery calls — the watchdog alone must converge every
+// crash. A failed gate is a hard error (non-zero exit).
 func runChaos(sc bench.Scale) ([]bench.Row, error) {
 	cfg := chaos.DefaultConfig()
 	cfg.Seed = sc.Seed
 	cfg.Ops = min(max(sc.Ops/100, 300), 2000)
+	cfg.AutoRecover = true
 	rep, err := chaos.Sweep(cfg)
 	if err != nil {
 		return nil, err

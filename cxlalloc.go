@@ -52,6 +52,7 @@ import (
 
 	"cxlalloc/internal/core"
 	"cxlalloc/internal/crash"
+	"cxlalloc/internal/liveness"
 	"cxlalloc/internal/memsim"
 	"cxlalloc/internal/vas"
 )
@@ -72,6 +73,31 @@ type RecoveryReport = core.RecoveryReport
 // Crashed is returned by Thread.Run when an injected crash fired.
 type Crashed = crash.Crashed
 
+// LivenessConfig tunes the self-healing pod's heartbeat protocol.
+type LivenessConfig = liveness.Config
+
+// LivenessEvent is one observable watchdog action (claim, repair, ...).
+type LivenessEvent = liveness.Event
+
+// LivenessKind classifies a LivenessEvent.
+type LivenessKind = liveness.Kind
+
+// Re-exported watchdog event kinds.
+const (
+	LivenessClaim       = liveness.KindClaim
+	LivenessRepair      = liveness.KindRepair
+	LivenessRepairCrash = liveness.KindRepairCrash
+	LivenessFenced      = liveness.KindFenced
+	LivenessFalseAlarm  = liveness.KindFalseAlarm
+	LivenessRescue      = liveness.KindRescue
+	LivenessSelfFence   = liveness.KindSelfFence
+)
+
+// SelfFencePoint is the synthetic crash point Thread.Run reports when
+// the thread's lease renewal discovered the pod declared it dead and
+// recovered its slot elsewhere.
+const SelfFencePoint = liveness.SelfFencePoint
+
 // Re-exported sentinel errors.
 var (
 	ErrOutOfMemory = core.ErrOutOfMemory
@@ -79,11 +105,36 @@ var (
 	// ErrNotCrashed is returned by Process.Recover and Process.Restart
 	// when the target is alive (never crashed, or already recovered).
 	ErrNotCrashed = core.ErrNotCrashed
+	// ErrFenced is returned by fenced recovery when the caller's claim
+	// was superseded mid-repair.
+	ErrFenced = core.ErrFenced
 )
+
+// ErrRestartClaimed is returned by Process.Restart when another Restart
+// call holds the restart claim for the same dead process. Exactly one
+// concurrent caller wins; the losers must not retry blindly — the winner
+// either completes (later calls see ErrNotCrashed) or crashes (the claim
+// is released and a retry can win).
+var ErrRestartClaimed = fmt.Errorf("cxlalloc: restart already claimed")
 
 // DefaultConfig returns a moderate configuration suitable for examples
 // and tests.
 func DefaultConfig() Config { return core.DefaultConfig() }
+
+// PodConfig extends Config with the self-healing options of NewPodWith.
+type PodConfig struct {
+	Config
+	// AutoRecover turns on the liveness plane: every Thread.Run ticks
+	// the pod clock, renews the thread's heartbeat lease, and runs the
+	// per-process watchdog, which detects expired leases and repairs
+	// crashed slots automatically — no Recover/Restart calls needed.
+	AutoRecover bool
+	// Liveness tunes lease and poll cadence; zero fields take defaults.
+	Liveness LivenessConfig
+	// OnEvent, if set, receives every watchdog event synchronously (from
+	// the thread whose Run triggered it).
+	OnEvent func(LivenessEvent)
+}
 
 // Pod is one simulated CXL pod: a shared memory device plus the heap
 // metadata living in it. All processes and threads of the pod share one
@@ -92,25 +143,107 @@ type Pod struct {
 	dev  *memsim.Device
 	heap *core.Heap
 
+	// Self-healing configuration (NewPodWith). Immutable after creation.
+	auto    bool
+	lcfg    liveness.Config
+	onEvent func(LivenessEvent)
+
 	mu       sync.Mutex
 	nextProc int
 	tidOwner []*Process // per thread slot: owning process, nil = free
+	procs    []*Process // every process ever created, in creation order
+
+	evMu   sync.Mutex
+	events []LivenessEvent
 }
 
 // NewPod creates a pod with a zeroed device. Zeroed memory is a valid
 // heap, so the pod is immediately usable by any number of processes.
 func NewPod(cfg Config) (*Pod, error) {
-	dc, err := core.DeviceFor(cfg)
+	return NewPodWith(PodConfig{Config: cfg})
+}
+
+// NewPodWith creates a pod with the extended (self-healing) options.
+func NewPodWith(pc PodConfig) (*Pod, error) {
+	dc, err := core.DeviceFor(pc.Config)
 	if err != nil {
 		return nil, err
 	}
 	dev := memsim.NewDevice(dc)
-	heap, err := core.NewHeap(cfg, dev)
+	heap, err := core.NewHeap(pc.Config, dev)
 	if err != nil {
 		return nil, err
 	}
-	return &Pod{dev: dev, heap: heap, tidOwner: make([]*Process, cfg.NumThreads)}, nil
+	return &Pod{
+		dev:      dev,
+		heap:     heap,
+		auto:     pc.AutoRecover,
+		lcfg:     pc.Liveness.WithDefaults(),
+		onEvent:  pc.OnEvent,
+		tidOwner: make([]*Process, pc.NumThreads),
+	}, nil
 }
+
+// AutoRecover reports whether the pod runs the liveness plane.
+func (pod *Pod) AutoRecover() bool { return pod.auto }
+
+// LivenessEvents returns a copy of every watchdog event emitted so far.
+func (pod *Pod) LivenessEvents() []LivenessEvent {
+	pod.evMu.Lock()
+	defer pod.evMu.Unlock()
+	return append([]LivenessEvent(nil), pod.events...)
+}
+
+// FalseTakeovers returns how many watchdog claims across all processes
+// landed on slots that were actually alive. A correctly tuned grace
+// multiple keeps this 0.
+func (pod *Pod) FalseTakeovers() uint64 {
+	pod.mu.Lock()
+	procs := append([]*Process(nil), pod.procs...)
+	pod.mu.Unlock()
+	var n uint64
+	for _, p := range procs {
+		if p.mgr != nil {
+			n += p.mgr.FalseTakeovers()
+		}
+	}
+	return n
+}
+
+func (pod *Pod) emitEvent(e LivenessEvent) {
+	pod.evMu.Lock()
+	pod.events = append(pod.events, e)
+	cb := pod.onEvent
+	pod.evMu.Unlock()
+	if cb != nil {
+		cb(e)
+	}
+}
+
+// adoptSlot rebinds slot ownership after a watchdog repair.
+func (pod *Pod) adoptSlot(tid int, p *Process) {
+	pod.mu.Lock()
+	pod.tidOwner[tid] = p
+	pod.mu.Unlock()
+}
+
+// rescueSlot re-adopts an alive-but-unleased slot to the live process
+// owning the space it is bound to, reporting whether one exists.
+func (pod *Pod) rescueSlot(tid int) bool {
+	sp := pod.heap.ThreadSpace(tid)
+	pod.mu.Lock()
+	defer pod.mu.Unlock()
+	for _, p := range pod.procs {
+		if p.space == sp && !p.dead {
+			pod.tidOwner[tid] = p
+			return true
+		}
+	}
+	return false
+}
+
+// leaseTicks is the pod's configured lease duration.
+func (pod *Pod) leaseTicks() uint64 { return pod.lcfg.LeaseTicks() }
 
 // Heap exposes the underlying allocator for benchmarks and tests.
 func (pod *Pod) Heap() *core.Heap { return pod.heap }
@@ -124,7 +257,15 @@ func (pod *Pod) Device() *memsim.Device { return pod.dev }
 type Process struct {
 	pod   *Pod
 	space *vas.Space
-	dead  bool // guarded by pod.mu; set by Pod.KillProcess
+	mgr   *liveness.Manager // non-nil on AutoRecover pods
+	dead  bool              // guarded by pod.mu; set by Pod.KillProcess
+
+	// Restart arbitration (guarded by pod.mu): restarting is the claim a
+	// Restart call holds while it recovers slots; restarted marks a
+	// completed Restart, so later calls fail with ErrNotCrashed instead
+	// of "succeeding" with an empty process.
+	restarting bool
+	restarted  bool
 }
 
 // NewProcess attaches a new process to the pod.
@@ -141,7 +282,16 @@ func (pod *Pod) newProcessLocked() *Process {
 	sp.SetHandler(func(tid int, s *vas.Space, page uint64) bool {
 		return pod.heap.HandleFault(tid, s.Install, page)
 	})
-	return &Process{pod: pod, space: sp}
+	p := &Process{pod: pod, space: sp}
+	if pod.auto {
+		p.mgr = liveness.NewManager(pod.heap, sp, pod.lcfg, liveness.Hooks{
+			Adopt:  func(victim int) { pod.adoptSlot(victim, p) },
+			Rescue: pod.rescueSlot,
+			Emit:   pod.emitEvent,
+		})
+	}
+	pod.procs = append(pod.procs, p)
+	return p
 }
 
 // ID returns the process identifier.
@@ -160,6 +310,11 @@ func (p *Process) FaultStats() vas.Stats { return p.space.Stats() }
 type Thread struct {
 	proc *Process
 	tid  int
+	// epoch is the heartbeat-lease epoch this handle was minted under
+	// (0 on non-AutoRecover pods). Renewals are scoped to it, so a
+	// handle outlived by a watchdog takeover self-fences instead of
+	// renewing the new incarnation's lease.
+	epoch uint16
 }
 
 // AttachThread claims the lowest free thread slot in the pod for this
@@ -176,7 +331,7 @@ func (p *Process) AttachThread() (*Thread, error) {
 				return nil, err
 			}
 			p.pod.tidOwner[tid] = p
-			return &Thread{proc: p, tid: tid}, nil
+			return &Thread{proc: p, tid: tid, epoch: p.pod.leaseNew(tid)}, nil
 		}
 	}
 	return nil, fmt.Errorf("cxlalloc: all %d thread slots in use", len(p.pod.tidOwner))
@@ -199,7 +354,16 @@ func (p *Process) AttachThreadID(tid int) (*Thread, error) {
 		return nil, err
 	}
 	p.pod.tidOwner[tid] = p
-	return &Thread{proc: p, tid: tid}, nil
+	return &Thread{proc: p, tid: tid, epoch: p.pod.leaseNew(tid)}, nil
+}
+
+// leaseNew grants a freshly attached (or manually recovered) slot its
+// first lease on AutoRecover pods; inert otherwise.
+func (pod *Pod) leaseNew(tid int) uint16 {
+	if !pod.auto {
+		return 0
+	}
+	return pod.heap.LeaseAcquire(tid, pod.heap.ClockNow(tid)+pod.leaseTicks())
 }
 
 // ID returns the thread slot index.
@@ -246,7 +410,38 @@ func (t *Thread) Footprint() Footprint {
 // panic is caught, the thread slot is marked crashed exactly as the
 // crash left it, and the Crashed value is returned. The Thread must not
 // be used again; recover the slot with Process.Recover.
+//
+// On AutoRecover pods, Run first performs the thread's liveness duties:
+// tick the pod clock, renew this thread's heartbeat lease, and run the
+// process watchdog when its poll is due. Three extra outcomes follow:
+//
+//   - A watchdog repair may crash (injected points inside recovery or
+//     the claim protocol); Run returns that Crashed, whose TID may be
+//     the repair victim rather than this thread.
+//   - A handle whose slot was taken over by another process's watchdog
+//     returns a synthetic Crashed at SelfFencePoint without touching
+//     shared state; the slot itself stays alive under its new owner.
+//   - A handle whose slot is dead (killed while this handle was idle)
+//     returns a synthetic Crashed at "liveness.dead-handle".
 func (t *Thread) Run(f func()) *Crashed {
+	if m := t.proc.mgr; m != nil {
+		heap := t.proc.pod.heap
+		if !heap.Alive(t.tid) {
+			return &Crashed{TID: t.tid, Point: "liveness.dead-handle"}
+		}
+		if c := crash.Run(func() {
+			if m.Heartbeat(t.tid, t.epoch) {
+				panic(&crash.Crashed{TID: t.tid, Point: SelfFencePoint})
+			}
+		}); c != nil {
+			if c.Point != SelfFencePoint {
+				// A real crash: this thread mid-claim, or the repair
+				// victim mid-recovery. Drain the right slot's cache.
+				heap.MarkCrashed(c.TID)
+			}
+			return c
+		}
+	}
 	c := crash.Run(f)
 	if c != nil {
 		t.proc.pod.heap.MarkCrashed(t.tid)
@@ -277,7 +472,7 @@ func (p *Process) Recover(tid int) (*Thread, RecoveryReport, error) {
 	p.pod.mu.Lock()
 	p.pod.tidOwner[tid] = p
 	p.pod.mu.Unlock()
-	return &Thread{proc: p, tid: tid}, rep, nil
+	return &Thread{proc: p, tid: tid, epoch: p.pod.leaseNew(tid)}, rep, nil
 }
 
 // Dead reports whether the process was killed by Pod.KillProcess.
@@ -316,7 +511,29 @@ func (p *Process) Thread(tid int) (*Thread, error) {
 	if !p.pod.heap.Alive(tid) {
 		return nil, fmt.Errorf("cxlalloc: thread slot %d is crashed", tid)
 	}
-	return &Thread{proc: p, tid: tid}, nil
+	return &Thread{proc: p, tid: tid, epoch: p.pod.heap.LeaseEpoch(tid)}, nil
+}
+
+// OwnerOf returns the process currently owning thread slot tid (nil if
+// the slot is free). On AutoRecover pods ownership moves when a watchdog
+// repairs a slot, so harnesses use this to find the surviving owner.
+func (pod *Pod) OwnerOf(tid int) *Process {
+	pod.mu.Lock()
+	defer pod.mu.Unlock()
+	if tid < 0 || tid >= len(pod.tidOwner) {
+		return nil
+	}
+	return pod.tidOwner[tid]
+}
+
+// ThreadOf returns a fresh handle for slot tid under its current owner
+// and lease epoch, or an error if the slot is unowned or not alive.
+func (pod *Pod) ThreadOf(tid int) (*Thread, error) {
+	p := pod.OwnerOf(tid)
+	if p == nil {
+		return nil, fmt.Errorf("cxlalloc: thread slot %d is unowned", tid)
+	}
+	return p.Thread(tid)
 }
 
 // KillProcess simulates whole-process death (the paper's partial failure
@@ -345,10 +562,15 @@ func (pod *Pod) KillProcess(p *Process) []int {
 // address space with the SIGSEGV handler installed) re-runs the
 // non-blocking recovery protocol for every thread slot the dead process
 // owned, then adopts those slots. Restarting a live process fails with
-// ErrNotCrashed.
+// ErrNotCrashed; restarting a process someone already restarted also
+// fails with ErrNotCrashed.
 //
-// Restart is re-runnable: if an injected crash fires during one of the
-// slot recoveries, the panic propagates with the remaining slots still
+// Restart is claim-based: concurrent calls race for the restarting flag
+// under pod.mu, exactly one proceeds, and the losers fail fast with
+// ErrRestartClaimed instead of both recovering the same slots (the old
+// code let two callers pass the dead check and double-recover). The
+// claim is released on every exit — including an injected crash panic —
+// so a crashed Restart can be retried: the remaining slots are still
 // dead and still owned by the dead process; MarkCrashed the victim and
 // call Restart again. Slots a previous aborted attempt already revived
 // are adopted as-is (they stay bound to that attempt's space, which
@@ -356,12 +578,32 @@ func (pod *Pod) KillProcess(p *Process) []int {
 func (p *Process) Restart() (*Process, []RecoveryReport, error) {
 	pod := p.pod
 	pod.mu.Lock()
-	defer pod.mu.Unlock()
-	if !p.dead {
+	switch {
+	case !p.dead || p.restarted:
+		pod.mu.Unlock()
 		return nil, nil, fmt.Errorf("cxlalloc: process %d is alive: %w", p.space.ID(), ErrNotCrashed)
+	case p.restarting:
+		pod.mu.Unlock()
+		return nil, nil, fmt.Errorf("cxlalloc: process %d: %w", p.space.ID(), ErrRestartClaimed)
 	}
+	p.restarting = true
 	np := pod.newProcessLocked()
 	tids := pod.tidsOfLocked(p)
+	pod.mu.Unlock()
+
+	done := false
+	defer func() {
+		// Release the claim even when a slot recovery panics (injected
+		// crash); only a completed Restart latches restarted.
+		pod.mu.Lock()
+		p.restarting = false
+		p.restarted = done
+		pod.mu.Unlock()
+	}()
+
+	// Recover outside pod.mu: per-slot recMu inside RecoverThread is the
+	// serialization that matters, and holding pod.mu across recovery
+	// would deadlock against a watchdog's Adopt hook.
 	var reports []RecoveryReport
 	for _, tid := range tids {
 		if pod.heap.Alive(tid) {
@@ -371,11 +613,15 @@ func (p *Process) Restart() (*Process, []RecoveryReport, error) {
 		if err != nil {
 			return nil, reports, fmt.Errorf("cxlalloc: restart of process %d: %w", p.space.ID(), err)
 		}
+		pod.leaseNew(tid)
 		reports = append(reports, rep)
 	}
 	// All slots alive: transfer ownership to the new process.
+	pod.mu.Lock()
 	for _, tid := range tids {
 		pod.tidOwner[tid] = np
 	}
+	pod.mu.Unlock()
+	done = true
 	return np, reports, nil
 }

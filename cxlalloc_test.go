@@ -306,6 +306,81 @@ func TestPodKillProcessRestart(t *testing.T) {
 	}
 }
 
+// Restart is claim-based: when two goroutines race to restart the same
+// dead process, exactly one performs the recovery; the loser gets a
+// typed error instead of double-recovering live slots (which the old
+// check-then-act window allowed).
+func TestPodRestartConcurrent(t *testing.T) {
+	pod, _ := NewPod(smallPodConfig())
+	procA, procB := pod.NewProcess(), pod.NewProcess()
+	a1, _ := procA.AttachThread()
+	a2, _ := procA.AttachThread()
+	if _, err := procB.AttachThread(); err != nil {
+		t.Fatal(err)
+	}
+	p1, _ := a1.Alloc(256)
+	p2, _ := a2.Alloc(600 << 10)
+	pod.KillProcess(procA)
+
+	const racers = 4
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		wins []*Process
+		errs []error
+	)
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			np, _, err := procA.Restart()
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs = append(errs, err)
+			} else {
+				wins = append(wins, np)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if len(wins) != 1 {
+		t.Fatalf("%d restarts succeeded, want exactly 1 (errs: %v)", len(wins), errs)
+	}
+	for _, err := range errs {
+		if !errors.Is(err, ErrRestartClaimed) && !errors.Is(err, ErrNotCrashed) {
+			t.Fatalf("loser error = %v, want ErrRestartClaimed or ErrNotCrashed", err)
+		}
+	}
+	np := wins[0]
+	if got := np.TIDs(); len(got) != 2 {
+		t.Fatalf("restarted process owns %v, want 2 slots", got)
+	}
+	nt1, err := np.Thread(a1.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nt2, err := np.Thread(a2.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nt1.Free(p1)
+	nt2.Free(p2)
+	nt2.Maintain()
+	if err := pod.Heap().CheckAll(nt1.ID()); err != nil {
+		t.Fatal(err)
+	}
+	// The settled loser keeps failing typed, and the winner's process is
+	// itself restartable-rejected while alive.
+	if _, _, err := procA.Restart(); !errors.Is(err, ErrNotCrashed) {
+		t.Fatalf("post-race restart: err = %v, want ErrNotCrashed", err)
+	}
+	if _, _, err := np.Restart(); !errors.Is(err, ErrNotCrashed) {
+		t.Fatalf("restart of live winner: err = %v, want ErrNotCrashed", err)
+	}
+}
+
 func TestPodRecoverNotCrashedTyped(t *testing.T) {
 	pod, _ := NewPod(smallPodConfig())
 	proc := pod.NewProcess()

@@ -1,0 +1,216 @@
+package bench
+
+import (
+	"fmt"
+
+	"cxlalloc"
+	"cxlalloc/internal/xrand"
+)
+
+// MTTR experiment: mean time to repair on a self-healing pod as a
+// function of lease length. A thread is killed with no announcement; the
+// survivors' watchdogs must notice the expired lease, win the fenced
+// claim, and repair the slot. Repair latency is measured on the pod's
+// logical clock (one tick per Thread.Run anywhere in the pod), so the
+// numbers are exactly reproducible and scale-free: MTTR is "how much
+// work the pod did while the slot was dead".
+//
+// The experiment also runs a slow-thread segment per lease setting: one
+// thread stops running for GraceMult-1 renewal windows — just short of
+// its lease — then resumes. The gate requires zero false takeovers: a
+// slow-but-live thread must never be claimed, let alone torn down.
+
+// MTTRResult is one lease setting's outcome.
+type MTTRResult struct {
+	Grace          uint64  // lease = RenewInterval * Grace ticks
+	LeaseTicks     uint64
+	Episodes       int     // kill episodes driven
+	Repairs        uint64  // watchdog repairs observed
+	MTTRMean       float64 // ticks, kill -> repair event
+	MTTRMax        uint64
+	SlowTicks      uint64 // pod ticks the slow thread sat out
+	FalseTakeovers uint64 // claims on alive slots; must be 0
+}
+
+// mttrRenewInterval is the heartbeat cadence every setting shares, so
+// the swept variable is purely the grace multiple (lease length).
+const mttrRenewInterval = 4
+
+// mttrGraces is the swept lease-length axis.
+var mttrGraces = []uint64{2, 4, 8, 16}
+
+// RunMTTR sweeps lease lengths on an auto-recovering pod.
+func RunMTTR(sc Scale) ([]Row, error) {
+	threads, procs := 4, 2
+	episodes := 6
+	var rows []Row
+	for _, g := range mttrGraces {
+		res, err := runMTTROne(sc.Seed, threads, procs, episodes, g)
+		if err != nil {
+			return rows, err
+		}
+		rows = append(rows, Row{
+			Experiment: "mttr",
+			Workload:   fmt.Sprintf("grace=%d", g),
+			Allocator:  "cxlalloc",
+			Threads:    threads,
+			Procs:      procs,
+			Ops:        res.Episodes,
+			Extra: map[string]string{
+				"lease_ticks":     fmt.Sprint(res.LeaseTicks),
+				"mttr_mean_ticks": fmt.Sprintf("%.1f", res.MTTRMean),
+				"mttr_max_ticks":  fmt.Sprint(res.MTTRMax),
+				"repairs":         fmt.Sprint(res.Repairs),
+				"slow_ticks":      fmt.Sprint(res.SlowTicks),
+				"false_takeovers": fmt.Sprint(res.FalseTakeovers),
+			},
+		})
+		if res.FalseTakeovers != 0 {
+			return rows, fmt.Errorf("mttr: grace=%d produced %d false takeovers (want 0)",
+				g, res.FalseTakeovers)
+		}
+		if int(res.Repairs) != res.Episodes {
+			return rows, fmt.Errorf("mttr: grace=%d repaired %d of %d kills",
+				g, res.Repairs, res.Episodes)
+		}
+	}
+	return rows, nil
+}
+
+func runMTTROne(seed uint64, threads, procs, episodes int, grace uint64) (MTTRResult, error) {
+	res := MTTRResult{Grace: grace}
+	lcfg := cxlalloc.LivenessConfig{
+		RenewInterval: mttrRenewInterval,
+		GraceMult:     grace,
+		PollInterval:  2,
+	}
+	res.LeaseTicks = lcfg.LeaseTicks()
+
+	pc := cxlalloc.DefaultConfig()
+	pc.NumThreads = threads
+	pc.MaxSmallSlabs = 64
+	pc.MaxLargeSlabs = 8
+	pc.HugeRegionSize = 1 << 20
+	pc.NumReservations = 8
+	pc.DescsPerThread = 16
+	pc.NumHazards = 8
+	pc.UnsizedThreshold = 2
+
+	var repairs []cxlalloc.LivenessEvent
+	pod, err := cxlalloc.NewPodWith(cxlalloc.PodConfig{
+		Config:      pc,
+		AutoRecover: true,
+		Liveness:    lcfg,
+		OnEvent: func(ev cxlalloc.LivenessEvent) {
+			if ev.Kind == cxlalloc.LivenessRepair {
+				repairs = append(repairs, ev)
+			}
+		},
+	})
+	if err != nil {
+		return res, err
+	}
+	ps := make([]*cxlalloc.Process, procs)
+	for i := range ps {
+		ps[i] = pod.NewProcess()
+	}
+	heap := pod.Heap()
+	rng := xrand.New(seed + grace)
+	var live []cxlalloc.Ptr
+	for tid := 0; tid < threads; tid++ {
+		if _, err := ps[tid%procs].AttachThreadID(tid); err != nil {
+			return res, err
+		}
+	}
+
+	// run is one Thread.Run of real work for tid (skips dead slots).
+	run := func(tid int) error {
+		th, err := pod.ThreadOf(tid)
+		if err != nil {
+			return nil // dead: awaiting repair
+		}
+		if c := th.Run(func() {
+			if rng.Intn(100) < 60 || len(live) == 0 {
+				if p, err := th.Alloc(rng.IntRange(1, 1024)); err == nil {
+					live = append(live, p)
+				}
+			} else {
+				idx := rng.Intn(len(live))
+				p := live[idx]
+				live = append(live[:idx], live[idx+1:]...)
+				th.Free(p)
+			}
+		}); c != nil {
+			return fmt.Errorf("mttr: unexpected crash: %v", c)
+		}
+		return nil
+	}
+
+	// Warm up so every thread holds a renewed lease.
+	for i := 0; i < threads*int(res.LeaseTicks); i++ {
+		if err := run(i % threads); err != nil {
+			return res, err
+		}
+	}
+
+	// Kill episodes: victims rotate over tids 1..threads-1 (tid 0 always
+	// survives to drive the pod).
+	var total, maxT uint64
+	for ep := 0; ep < episodes; ep++ {
+		victim := 1 + ep%(threads-1)
+		th, err := pod.ThreadOf(victim)
+		if err != nil {
+			return res, fmt.Errorf("mttr: victim %d dead before its episode", victim)
+		}
+		killTick := heap.ClockNow(0)
+		th.Kill()
+		seen := len(repairs)
+		for i := 0; len(repairs) == seen; i++ {
+			if i > threads*64*int(res.LeaseTicks) {
+				return res, fmt.Errorf("mttr: victim %d never repaired", victim)
+			}
+			if err := run(i % threads); err != nil {
+				return res, err
+			}
+		}
+		ev := repairs[len(repairs)-1]
+		if ev.Victim != victim {
+			return res, fmt.Errorf("mttr: repaired %d, expected victim %d", ev.Victim, victim)
+		}
+		mttr := ev.Tick - killTick
+		total += mttr
+		if mttr > maxT {
+			maxT = mttr
+		}
+	}
+	res.Episodes = episodes
+	res.Repairs = uint64(len(repairs))
+	res.MTTRMean = float64(total) / float64(episodes)
+	res.MTTRMax = maxT
+
+	// Slow-thread segment: thread `slow` misses GraceMult-1 renewal
+	// windows while the rest of the pod keeps ticking, then resumes. Its
+	// lease must never expire, so no claim — false or otherwise — may
+	// land on it.
+	slow := threads - 1
+	res.SlowTicks = (grace - 1) * mttrRenewInterval
+	start := heap.ClockNow(0)
+	for i := 0; heap.ClockNow(0)-start < res.SlowTicks-1; i++ {
+		tid := i % threads
+		if tid == slow {
+			continue
+		}
+		if err := run(tid); err != nil {
+			return res, err
+		}
+	}
+	before := len(repairs)
+	if err := run(slow); err != nil { // resumes; must renew, not fence
+		return res, err
+	}
+	if len(repairs) != before {
+		return res, fmt.Errorf("mttr: slow thread was torn down")
+	}
+	res.FalseTakeovers = pod.FalseTakeovers()
+	return res, nil
+}

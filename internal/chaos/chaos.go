@@ -51,6 +51,14 @@ type Config struct {
 	Ops     int    // workload steps in the main phase
 	Seed    uint64 // workload RNG seed (reproducible)
 	Modes   []Mode // nil = both modes
+
+	// AutoRecover runs the sweep on a self-healing pod: the harness makes
+	// NO Recover/Restart calls at all — after every crash (including
+	// crashes injected inside recovery and inside the claim protocol) it
+	// only keeps running live threads until the watchdog has converged the
+	// pod back to fully alive. The sweep additionally covers the liveness
+	// crash points and requires them visited.
+	AutoRecover bool
 }
 
 // DefaultConfig returns a sweep sized for CI: small enough to run every
@@ -99,6 +107,7 @@ type NMPResult struct {
 
 // Report is a sweep's full outcome.
 type Report struct {
+	Auto       bool       // sweep ran on a self-healing pod (no recovery calls)
 	Points     []string   // every crash point discovered by profiling
 	Runs       []PointRun // one per point × mode
 	Unswept    []string   // "point/mode" combos whose crash never fired
@@ -121,8 +130,12 @@ func (r *Report) Summary() string {
 	if !r.Ok() {
 		status = "FAIL"
 	}
-	return fmt.Sprintf("chaos %s: %d points x %d runs, %d unswept, %d violations, nmp fallbacks=%d",
-		status, len(r.Points), len(r.Runs), len(r.Unswept), len(r.Violations), r.NMP.Fallbacks)
+	kind := "chaos"
+	if r.Auto {
+		kind = "chaos[auto]"
+	}
+	return fmt.Sprintf("%s %s: %d points x %d runs, %d unswept, %d violations, nmp fallbacks=%d",
+		kind, status, len(r.Points), len(r.Runs), len(r.Unswept), len(r.Violations), r.NMP.Fallbacks)
 }
 
 // Sweep runs the full chaos gate: profile, sweep every discovered point
@@ -132,7 +145,7 @@ func Sweep(cfg Config) (*Report, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	rep := &Report{}
+	rep := &Report{Auto: cfg.AutoRecover}
 
 	points, err := discover(cfg)
 	if err != nil {
@@ -142,9 +155,14 @@ func Sweep(cfg Config) (*Report, error) {
 
 	// The profiling workload must reach the allocator's interesting
 	// transitions and the recovery path; otherwise the sweep would
-	// vacuously pass over a too-gentle workload.
-	for _, must := range append([]string{"small.alloc.post-take", "huge.alloc.post-link"},
-		core.RecoveryCrashPoints...) {
+	// vacuously pass over a too-gentle workload. A self-healing sweep must
+	// additionally route through the claim protocol.
+	musts := append([]string{"small.alloc.post-take", "huge.alloc.post-link"},
+		core.RecoveryCrashPoints...)
+	if cfg.AutoRecover {
+		musts = append(musts, core.LivenessCrashPoints...)
+	}
+	for _, must := range musts {
 		if !contains(points, must) {
 			rep.Violations = append(rep.Violations,
 				fmt.Sprintf("profiling never visited %q: workload too gentle", must))
@@ -302,18 +320,30 @@ func newHarness(cfg Config, inj *crash.Injector, mode atomicx.Mode) (*harness, e
 	pc.UnsizedThreshold = 2
 	pc.Mode = mode
 	pc.Crash = inj
-	pod, err := cxlalloc.NewPod(pc)
-	if err != nil {
-		return nil, err
-	}
 	h := &harness{
 		cfg:     cfg,
 		inj:     inj,
-		pod:     pod,
 		procs:   make([]*cxlalloc.Process, cfg.Procs),
 		threads: make([]*cxlalloc.Thread, cfg.Threads),
 		rng:     xrand.New(cfg.Seed),
 	}
+	pod, err := cxlalloc.NewPodWith(cxlalloc.PodConfig{
+		Config:      pc,
+		AutoRecover: cfg.AutoRecover,
+		// A watchdog repair that finds a pending allocation (the victim
+		// crashed between taking a block and receiving the pointer) hands
+		// it to the application here — the auto-mode twin of the manual
+		// handlers' rep.PendingAlloc adoption.
+		OnEvent: func(ev cxlalloc.LivenessEvent) {
+			if ev.Kind == cxlalloc.LivenessRepair && ev.Report.PendingAlloc != 0 {
+				h.addLive(ev.Report.PendingAlloc)
+			}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	h.pod = pod
 	for i := range h.procs {
 		h.procs[i] = pod.NewProcess()
 	}
@@ -325,6 +355,21 @@ func newHarness(cfg Config, inj *crash.Injector, mode atomicx.Mode) (*harness, e
 		h.threads[tid] = th
 	}
 	return h, nil
+}
+
+// th returns the handle to drive slot tid with: the tracked handle in
+// manual mode; in auto mode a freshly minted one under the slot's
+// current owner and lease epoch, since ownership moves whenever the
+// watchdog repairs a slot. nil means the slot is currently dead.
+func (h *harness) th(tid int) *cxlalloc.Thread {
+	if !h.cfg.AutoRecover {
+		return h.threads[tid]
+	}
+	th, err := h.pod.ThreadOf(tid)
+	if err != nil {
+		return nil
+	}
+	return th
 }
 
 func (h *harness) procIdx(tid int) int { return tid % h.cfg.Procs }
@@ -346,12 +391,17 @@ func (h *harness) aliveTID() int {
 
 // runScript is the canonical deterministic workload: a main phase, a
 // scripted thread kill + recovery (so the recover.* points are visited
-// in every run), a tail phase, and a full drain with leak audit.
+// in every run — in auto mode the watchdog, not the harness, recovers),
+// a tail phase, and a full drain with leak audit.
 func (h *harness) runScript(onCrash crashHandler) error {
 	if err := h.driveOps(h.cfg.Ops, onCrash); err != nil {
 		return err
 	}
-	if err := h.scriptedKillRecover(onCrash); err != nil {
+	if h.cfg.AutoRecover {
+		if err := h.scriptedKillAuto(onCrash); err != nil {
+			return err
+		}
+	} else if err := h.scriptedKillRecover(onCrash); err != nil {
 		return err
 	}
 	if err := h.driveOps(h.cfg.Ops/2, onCrash); err != nil {
@@ -360,11 +410,10 @@ func (h *harness) runScript(onCrash crashHandler) error {
 	return h.drain(onCrash)
 }
 
-// step is one workload operation by thread tid. Sizes cover all three
-// heaps; free bursts drive empty/spill/pop-global; cross-process reads
-// publish hazards; Maintain reclaims huge space.
-func (h *harness) step(tid, i int) {
-	th := h.threads[tid]
+// step is one workload operation by thread tid through handle th. Sizes
+// cover all three heaps; free bursts drive empty/spill/pop-global;
+// cross-process reads publish hazards; Maintain reclaims huge space.
+func (h *harness) step(th *cxlalloc.Thread, i int) {
 	r := h.rng
 	roll := r.Intn(100)
 	switch {
@@ -422,8 +471,11 @@ func (h *harness) addLive(p cxlalloc.Ptr) {
 func (h *harness) driveOps(n int, onCrash crashHandler) error {
 	for i := 0; i < n; i++ {
 		tid := i % h.cfg.Threads
-		th := h.threads[tid]
-		if c := th.Run(func() { h.step(tid, i) }); c != nil {
+		th := h.th(tid)
+		if th == nil {
+			continue // dead slot mid-convergence; the watchdog will revive it
+		}
+		if c := th.Run(func() { h.step(th, i) }); c != nil {
 			if err := h.dispatch(c, onCrash); err != nil {
 				return err
 			}
@@ -467,13 +519,65 @@ func (h *harness) scriptedKillRecover(onCrash crashHandler) error {
 	return h.checkAll()
 }
 
+// scriptedKillAuto is the self-healing twin of scriptedKillRecover: it
+// kills the scripted victim and then does nothing but keep the survivors
+// running — the watchdog must detect the expired lease, claim the slot,
+// and repair it. Armed recover.*/liveness.* points fire inside that
+// watchdog repair and route to onCrash like any other crash.
+func (h *harness) scriptedKillAuto(onCrash crashHandler) error {
+	tid := h.killTID()
+	if h.pod.Heap().Alive(tid) {
+		if th := h.th(tid); th != nil {
+			th.Kill()
+		}
+	}
+	if err := h.awaitRepair(onCrash); err != nil {
+		return err
+	}
+	return h.checkAll()
+}
+
+// awaitRepair drives benign Runs on live threads until every slot is
+// alive and leased again. The harness makes no recovery calls: repair
+// happens inside the survivors' heartbeats. Crashes injected into those
+// repairs dispatch to onCrash, whose auto handler recurses here with the
+// injector disarmed, so the recursion is bounded at one level.
+func (h *harness) awaitRepair(onCrash crashHandler) error {
+	heap := h.pod.Heap()
+	for round := 0; round < 512; round++ {
+		converged := true
+		for tid := 0; tid < h.cfg.Threads; tid++ {
+			if !heap.Alive(tid) || !heap.Leased(tid) {
+				converged = false
+			}
+			th := h.th(tid)
+			if th == nil {
+				continue
+			}
+			if c := th.Run(func() {}); c != nil {
+				if err := h.dispatch(c, onCrash); err != nil {
+					return err
+				}
+			}
+		}
+		if converged {
+			return nil
+		}
+	}
+	return errors.New("watchdog did not converge the pod within its budget")
+}
+
 // drain frees every live pointer, runs Maintain everywhere, and audits.
 func (h *harness) drain(onCrash crashHandler) error {
 	for i := 0; len(h.live) > 0; i++ {
 		p := h.live[len(h.live)-1]
 		h.live = h.live[:len(h.live)-1]
 		tid := i % h.cfg.Threads
-		th := h.threads[tid]
+		th := h.th(tid)
+		if th == nil {
+			h.live = append(h.live, p) // retry from another slot
+			continue
+		}
 		if c := th.Run(func() { th.Free(p) }); c != nil {
 			if err := h.dispatch(c, onCrash); err != nil {
 				return err
@@ -481,13 +585,17 @@ func (h *harness) drain(onCrash crashHandler) error {
 		}
 	}
 	for tid := 0; tid < h.cfg.Threads; tid++ {
-		th := h.threads[tid]
+		th := h.th(tid)
+		if th == nil {
+			continue
+		}
 		if c := th.Run(th.Maintain); c != nil {
 			if err := h.dispatch(c, onCrash); err != nil {
 				return err
 			}
 			// Re-run the interrupted maintenance after recovery.
-			if c2 := h.threads[tid].Run(h.threads[tid].Maintain); c2 != nil {
+			th = h.th(tid)
+			if c2 := th.Run(th.Maintain); c2 != nil {
 				return fmt.Errorf("maintenance crashed twice: %v", c2)
 			}
 		}
@@ -513,10 +621,15 @@ func (h *harness) dispatch(c *crash.Crashed, onCrash crashHandler) error {
 }
 
 // handleCrash is the failure-mode response used by sweep runs: disarm,
-// prove survivors are not blocked, recover (thread or whole process),
-// and check every invariant.
+// prove survivors are not blocked, recover, and check every invariant.
+// In manual mode recovery is an explicit Recover/Restart call; in auto
+// mode the harness only escalates (process mode kills the victim's whole
+// process) and then waits for the watchdog to converge the pod.
 func (h *harness) handleCrash(c *crash.Crashed, mode Mode) error {
 	h.inj.Disarm()
+	if h.cfg.AutoRecover {
+		return h.handleCrashAuto(c, mode)
+	}
 	switch mode {
 	case ModeThreadCrash:
 		return h.recoverThreadCrash(c.TID)
@@ -525,6 +638,30 @@ func (h *harness) handleCrash(c *crash.Crashed, mode Mode) error {
 	default:
 		return fmt.Errorf("unknown mode %q", mode)
 	}
+}
+
+// handleCrashAuto responds to a fired crash without a single recovery
+// call: escalate if the mode says so, prove the survivors keep
+// allocating, then let the watchdog repair everything.
+func (h *harness) handleCrashAuto(c *crash.Crashed, mode Mode) error {
+	switch mode {
+	case ModeThreadCrash:
+		// Nothing: the dead slot's lease expires and a survivor claims it.
+	case ModeProcessCrash:
+		if p := h.pod.OwnerOf(c.TID); p != nil {
+			h.pod.KillProcess(p)
+		}
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+	if err := h.survivorOps(40); err != nil {
+		return err
+	}
+	// The injector is disarmed, so this convergence cannot crash again.
+	if err := h.awaitRepair(nil); err != nil {
+		return err
+	}
+	return h.checkAll()
 }
 
 func (h *harness) recoverThreadCrash(tid int) error {
@@ -579,8 +716,11 @@ func (h *harness) survivorOps(n int) error {
 		if !heap.Alive(tid) {
 			continue
 		}
-		th := h.threads[tid]
-		if c := th.Run(func() { h.step(tid, i) }); c != nil {
+		th := h.th(tid)
+		if th == nil {
+			continue
+		}
+		if c := th.Run(func() { h.step(th, i) }); c != nil {
 			return fmt.Errorf("survivor crashed with injector disarmed: %v", c)
 		}
 		done++

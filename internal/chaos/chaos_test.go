@@ -60,6 +60,44 @@ func TestSweepSmall(t *testing.T) {
 	}
 }
 
+// TestSweepAuto runs the gate on a self-healing pod: the harness makes
+// zero Recover/Restart calls, every crash — including crashes injected
+// inside recovery and inside the claim protocol — must be converged by
+// the watchdog alone, and the liveness crash points must be swept too.
+func TestSweepAuto(t *testing.T) {
+	cfg := Config{Threads: 4, Procs: 2, Ops: 400, Seed: 7, AutoRecover: true}
+	rep, err := Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	musts := append([]string{"small.alloc.post-take"}, core.RecoveryCrashPoints...)
+	musts = append(musts, core.LivenessCrashPoints...)
+	for _, must := range musts {
+		found := false
+		for _, p := range rep.Points {
+			if p == must {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("workload never visited %q", must)
+		}
+	}
+	if len(rep.Unswept) != 0 {
+		t.Errorf("unswept combinations: %v", rep.Unswept)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if !rep.Ok() {
+		t.Fatalf("report not Ok: %s", rep.Summary())
+	}
+	if !strings.Contains(rep.Summary(), "chaos[auto] OK") {
+		t.Errorf("summary = %q", rep.Summary())
+	}
+}
+
 // TestSweepConfigValidation rejects degenerate pods where process death
 // would leave no survivors.
 func TestSweepConfigValidation(t *testing.T) {

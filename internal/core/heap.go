@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"cxlalloc/internal/atomicx"
 	"cxlalloc/internal/interval"
@@ -31,6 +32,17 @@ type Heap struct {
 	coherent bool
 
 	threads []threadState
+
+	// recMu serializes slot-state transitions (attach, crash marking,
+	// recovery, lease bookkeeping) per slot, so a fenced recovery loser
+	// and the superseding winner never interleave, and watchdog
+	// goroutines can race Recover/Restart safely under -race.
+	recMu []sync.Mutex
+
+	// testHookPreCommit, tests only: runs between recoverThread's rebuilds
+	// and its commit fence check, so a supersede can be interposed
+	// deterministically.
+	testHookPreCommit func(tid int)
 }
 
 // threadState is the volatile (non-device) state of one thread slot.
@@ -43,6 +55,12 @@ type threadState struct {
 	cache    *memsim.Cache
 	space    *vas.Space
 	ver      uint16
+
+	// leaseEpoch is the heartbeat-lease epoch this incarnation acquired
+	// (0 = unleased). Renewals compare against it, so a handle from a
+	// superseded incarnation self-fences instead of renewing the new
+	// incarnation's lease. Guarded by recMu.
+	leaseEpoch uint16
 
 	hugeFree interval.Set // free virtual address ranges owned by this thread
 	descFree []int        // free huge-descriptor slots
@@ -69,6 +87,7 @@ func NewHeap(cfg Config, dev *memsim.Device) (*Heap, error) {
 		dev:      dev,
 		coherent: dc.Coherent,
 		threads:  make([]threadState, cfg.NumThreads),
+		recMu:    make([]sync.Mutex, cfg.NumThreads),
 	}
 	if cfg.Mode == atomicx.ModeMCAS {
 		h.unit = nmp.New(dev, cfg.Latency)
@@ -160,6 +179,8 @@ func (h *Heap) AttachThread(tid int, space *vas.Space) error {
 	if tid < 0 || tid >= h.cfg.NumThreads {
 		return fmt.Errorf("core: thread ID %d out of range", tid)
 	}
+	h.recMu[tid].Lock()
+	defer h.recMu[tid].Unlock()
 	ts := &h.threads[tid]
 	if ts.attached && ts.alive {
 		return fmt.Errorf("core: thread slot %d already attached", tid)
@@ -178,6 +199,8 @@ func (h *Heap) ThreadSpace(tid int) *vas.Space { return h.threads[tid].space }
 
 // Alive reports whether thread slot tid is attached and not crashed.
 func (h *Heap) Alive(tid int) bool {
+	h.recMu[tid].Lock()
+	defer h.recMu[tid].Unlock()
 	return h.threads[tid].attached && h.threads[tid].alive
 }
 
@@ -194,6 +217,8 @@ func (h *Heap) MarkCrashed(tid int) {
 	if tid < 0 || tid >= len(h.threads) {
 		return
 	}
+	h.recMu[tid].Lock()
+	defer h.recMu[tid].Unlock()
 	ts := &h.threads[tid]
 	if !ts.attached || ts.cache == nil {
 		return

@@ -29,6 +29,9 @@ type Layout struct {
 	LargeFreeW  int
 	ReservBase  int // huge reservation array, one tagged word per entry
 	HelpBase    int // detectable-CAS help array, one word per thread
+	ClockW      int // pod-wide logical clock (liveness ticks)
+	LeaseBase   int // heartbeat leases, one word per thread (epoch|deadline)
+	ClaimBase   int // recovery-claim words, one tagged word per thread
 	SmallHWBase int // remote-free words, one per small slab
 	LargeHWBase int
 	HWccWords   int
@@ -75,6 +78,15 @@ func computeLayout(c *Config) Layout {
 	l.ReservBase = w
 	w += c.NumReservations
 	l.HelpBase = w
+	w += c.NumThreads
+	// Liveness plane (§6.2): the watchdog must stay serviceable when the
+	// pod's SWcc protocol is wedged by a dead thread, so the clock, the
+	// lease table, and the claim words all live in the HWcc region.
+	l.ClockW = w
+	w++
+	l.LeaseBase = w
+	w += c.NumThreads
+	l.ClaimBase = w
 	w += c.NumThreads
 	l.SmallHWBase = w
 	w += c.MaxSmallSlabs

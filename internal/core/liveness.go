@@ -1,0 +1,251 @@
+package core
+
+// Liveness plane (DESIGN.md §6.2): heartbeat leases and fenced recovery
+// claims, the HWcc state that lets survivors detect a crashed thread and
+// arbitrate who repairs it — without an oracle calling Recover by hand.
+//
+// Lease word (one per thread slot, LeaseBase+tid):
+//
+//	bits 48..63  epoch — incremented every time the slot is (re)leased;
+//	             a renewal that observes a foreign epoch has been fenced
+//	bits  0..47  deadline — pod-clock tick after which the slot may be
+//	             declared dead
+//
+// Claim word (one per thread slot, ClaimBase+tid, detectable-CAS tagged):
+//
+//	payload bits 16..31  claimant+1 (0 = not held)
+//	payload bits  0..15  generation — monotone per word; release keeps
+//	                     the generation so a (claimant, gen) pair never
+//	                     recurs and stale tokens can never match
+//
+// The protocol:
+//
+//	expired lease -> ClaimAcquire (oplog opClaim, then DCAS) ->
+//	RecoverThreadFenced -> LeaseAcquire for the victim -> ClaimRelease
+//
+// A claimant that dies mid-repair leaves its opClaim record in its own
+// oplog; recovering the claimant redoes it, releasing the orphaned claim
+// (recovery of the recoverer). The slow path — the claimant's redo never
+// runs — is covered by lease expiry: a claim whose claimant's own lease
+// has expired may be superseded with generation+1, and the superseded
+// recoverer is fenced off at commit time by RecoverThreadFenced.
+
+import (
+	"errors"
+
+	"cxlalloc/internal/atomicx"
+)
+
+// ErrFenced is returned by RecoverThreadFenced when the caller's claim
+// was superseded while it was repairing: another claimant owns the slot
+// now, and this attempt must not commit.
+var ErrFenced = errors.New("core: recovery claim lost (fenced)")
+
+// LivenessCrashPoints are the crash points instrumented inside the claim
+// protocol, in execution order. A crash at any of them leaves a state the
+// watchdog converges from: before the claim CAS the record redoes to a
+// no-op, after it the claimant's recovery releases the orphaned claim.
+var LivenessCrashPoints = []string{
+	"liveness.claim.post-oplog",
+	"liveness.claim.post-cas",
+	"liveness.release.pre-cas",
+}
+
+const leaseDeadlineMask = 1<<48 - 1
+
+func packLease(epoch uint16, deadline uint64) uint64 {
+	return uint64(epoch)<<48 | deadline&leaseDeadlineMask
+}
+
+func unpackLease(w uint64) (epoch uint16, deadline uint64) {
+	return uint16(w >> 48), w & leaseDeadlineMask
+}
+
+// packClaim encodes a claim payload. claimant < 0 encodes "released,
+// generation preserved".
+func packClaim(claimant int, gen uint16) uint32 {
+	if claimant < 0 {
+		return uint32(gen)
+	}
+	return uint32(claimant+1)<<16 | uint32(gen)
+}
+
+func unpackClaim(payload uint32) (claimant int, gen uint16, held bool) {
+	return int(payload>>16) - 1, uint16(payload), payload>>16 != 0
+}
+
+func (h *Heap) leaseW(slot int) int { return h.lay.LeaseBase + slot }
+func (h *Heap) claimW(slot int) int { return h.lay.ClaimBase + slot }
+
+// ClockNow reads the pod-wide logical clock.
+func (h *Heap) ClockNow(tid int) uint64 {
+	return h.hw.Load(tid, h.lay.ClockW)
+}
+
+// ClockTick advances the pod-wide logical clock by one and returns the
+// new value. The clock is a fetch-add on an HWcc word (served by the NMP
+// data path in mCAS mode); every Thread.Run of an auto-recovering pod
+// ticks it, so lease durations are measured in pod-wide operations, not
+// wall time — which keeps single-goroutine harnesses deterministic.
+func (h *Heap) ClockTick(tid int) uint64 {
+	return h.dev.HWccAdd(h.lay.ClockW, 1)
+}
+
+// LeaseRead returns slot's lease word as tid sees it. Epoch 0 means the
+// slot has never been leased.
+func (h *Heap) LeaseRead(tid, slot int) (epoch uint16, deadline uint64) {
+	return unpackLease(h.hw.Load(tid, h.leaseW(slot)))
+}
+
+// LeaseExpired reports whether slot holds a lease that is past now.
+// Never-leased slots are not expired: the watchdog only hunts slots that
+// once heartbeat and stopped.
+func (h *Heap) LeaseExpired(tid, slot int, now uint64) bool {
+	epoch, deadline := h.LeaseRead(tid, slot)
+	return epoch != 0 && now > deadline
+}
+
+// LeaseAcquire starts a fresh lease incarnation for slot, expiring at
+// deadline. The caller must hold exclusive rights to the slot — it just
+// attached it, or it recovered it under a claim — so a plain store is
+// safe, and the epoch bump fences any renewal still in flight from the
+// previous incarnation. It returns the new epoch.
+func (h *Heap) LeaseAcquire(slot int, deadline uint64) uint16 {
+	h.recMu[slot].Lock()
+	defer h.recMu[slot].Unlock()
+	epoch, _ := h.LeaseRead(slot, slot)
+	epoch++
+	if epoch == 0 {
+		epoch = 1
+	}
+	h.hw.Store(slot, h.leaseW(slot), packLease(epoch, deadline))
+	h.threads[slot].leaseEpoch = epoch
+	return epoch
+}
+
+// LeaseRenew extends slot's lease to deadline, but only within the
+// incarnation that acquired epoch: if the word's epoch moved — a
+// claimant took the slot over — the renewal fails and the caller must
+// treat itself as fenced (self-fence: the pod has declared this
+// incarnation dead). The epoch is carried by the thread handle, not read
+// back from the word, so a handle from a superseded incarnation can
+// never renew on the new incarnation's behalf. Epoch 0 (an unleased
+// handle) is a no-op success.
+func (h *Heap) LeaseRenew(slot int, epoch uint16, deadline uint64) bool {
+	if epoch == 0 {
+		return true
+	}
+	w := h.leaseW(slot)
+	for {
+		old := h.hw.Load(slot, w)
+		cur, _ := unpackLease(old)
+		if cur != epoch {
+			return false
+		}
+		if _, ok := h.hw.CAS(slot, w, old, packLease(epoch, deadline)); ok {
+			return true
+		}
+		// CAS contention on a lease word can only be an epoch change (the
+		// holder is the sole renewer); reread and fence-check again.
+	}
+}
+
+// LeaseEpoch returns the lease epoch slot's current incarnation holds
+// (0 = unleased). New thread handles are minted under it.
+func (h *Heap) LeaseEpoch(slot int) uint16 {
+	h.recMu[slot].Lock()
+	defer h.recMu[slot].Unlock()
+	return h.threads[slot].leaseEpoch
+}
+
+// Leased reports whether slot's current incarnation holds a lease. An
+// alive-but-unleased slot is an orphan: its repairer died between
+// committing and re-leasing.
+func (h *Heap) Leased(slot int) bool { return h.LeaseEpoch(slot) != 0 }
+
+// ClaimToken proves a recovery claim: who claimed which generation. The
+// unexported ver ties the claim to the claimant's oplog record, so only
+// the acquiring call chain can release it.
+type ClaimToken struct {
+	Claimant int
+	Gen      uint16
+	ver      uint16
+}
+
+// zero reports whether the token is the unfenced sentinel.
+func (t ClaimToken) zero() bool { return t == ClaimToken{} }
+
+// ClaimRead returns victim's claim word as tid sees it.
+func (h *Heap) ClaimRead(tid, victim int) (claimant int, gen uint16, held bool) {
+	return unpackClaim(atomicx.Payload(h.dcas.Load(tid, h.claimW(victim))))
+}
+
+// ClaimAcquire arbitrates recovery of victim: at most one live claimant
+// wins. It fails if the word is held by a different claimant whose own
+// lease is still valid, or if the CAS loses a race. A claim held by a
+// claimant whose lease expired — or by the caller itself, whose manager
+// state died with its process — is superseded with generation+1, fencing
+// the stale holder.
+//
+// The claim is recorded in the claimant's own oplog *before* the CAS:
+// if the claimant dies holding the claim, recovering the claimant redoes
+// the record and releases the orphan.
+func (h *Heap) ClaimAcquire(claimant, victim int, now uint64) (ClaimToken, bool) {
+	ts := h.ts(claimant)
+	w := h.claimW(victim)
+	old := h.dcas.Load(claimant, w)
+	holder, gen, held := unpackClaim(atomicx.Payload(old))
+	if held && holder != claimant && !h.LeaseExpired(claimant, holder, now) {
+		return ClaimToken{}, false
+	}
+	gen++
+	if gen == 0 {
+		gen = 1
+	}
+	ver := ts.nextVer()
+	h.writeOplog(claimant, ts, opClaim, uint32(victim), gen, ver)
+	h.crashPoint(claimant, "liveness.claim.post-oplog")
+	h.dcas.Begin(claimant, ver)
+	if !h.dcas.CAS(claimant, ver, w, old, packClaim(claimant, gen)) {
+		h.clearOplog(claimant, ts)
+		return ClaimToken{}, false
+	}
+	h.crashPoint(claimant, "liveness.claim.post-cas")
+	return ClaimToken{Claimant: claimant, Gen: gen, ver: ver}, true
+}
+
+// ClaimHeldBy reports whether victim's claim word still carries tok.
+// Because release preserves the generation and acquisition increments
+// it, a superseded or released token never matches again.
+func (h *Heap) ClaimHeldBy(victim int, tok ClaimToken) bool {
+	if tok.zero() {
+		return false
+	}
+	cur := atomicx.Payload(h.dcas.Load(tok.Claimant, h.claimW(victim)))
+	return cur == packClaim(tok.Claimant, tok.Gen)
+}
+
+// ClaimRearm re-records a held claim in the claimant's oplog. The
+// watchdog calls it before retrying a repair whose earlier attempt
+// crashed the victim again: the claimant's intervening application ops
+// overwrote the opClaim record, and the retry window needs the
+// die-while-holding release guarantee back.
+func (h *Heap) ClaimRearm(victim int, tok ClaimToken) {
+	ts := h.ts(tok.Claimant)
+	h.writeOplog(tok.Claimant, ts, opClaim, uint32(victim), tok.Gen, tok.ver)
+}
+
+// ClaimRelease drops a successfully repaired victim's claim, keeping the
+// generation in the word. Releasing a superseded or already-released
+// token is a no-op; either way the claimant's opClaim record is retired.
+func (h *Heap) ClaimRelease(victim int, tok ClaimToken) {
+	ts := h.ts(tok.Claimant)
+	w := h.claimW(victim)
+	cur := h.dcas.Load(tok.Claimant, w)
+	if atomicx.Payload(cur) == packClaim(tok.Claimant, tok.Gen) {
+		h.crashPoint(tok.Claimant, "liveness.release.pre-cas")
+		h.dcas.Begin(tok.Claimant, tok.ver)
+		h.dcas.CAS(tok.Claimant, tok.ver, w, cur, packClaim(-1, tok.Gen))
+	}
+	h.clearOplog(tok.Claimant, ts)
+}

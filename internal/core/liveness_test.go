@@ -1,0 +1,283 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+// Liveness-plane unit tests: lease epochs fence stale incarnations,
+// claim generations arbitrate recovery, and the opClaim redo releases a
+// dead claimant's orphaned claim (DESIGN.md §6.2).
+
+func TestLeaseLifecycle(t *testing.T) {
+	e := newEnv(t, testConfig(), 2, 2)
+	h := e.h
+
+	if h.LeaseExpired(0, 1, 1000) {
+		t.Fatal("never-leased slot reported expired")
+	}
+	if h.Leased(1) {
+		t.Fatal("never-leased slot reported leased")
+	}
+
+	ep := h.LeaseAcquire(1, 50)
+	if ep != 1 {
+		t.Fatalf("first lease epoch = %d, want 1", ep)
+	}
+	if got := h.LeaseEpoch(1); got != ep {
+		t.Fatalf("LeaseEpoch = %d, want %d", got, ep)
+	}
+	if epoch, dl := h.LeaseRead(0, 1); epoch != 1 || dl != 50 {
+		t.Fatalf("LeaseRead = (%d, %d), want (1, 50)", epoch, dl)
+	}
+	if h.LeaseExpired(0, 1, 50) {
+		t.Fatal("lease expired at its own deadline (must be strictly past)")
+	}
+	if !h.LeaseExpired(0, 1, 51) {
+		t.Fatal("lease not expired past its deadline")
+	}
+
+	if !h.LeaseRenew(1, ep, 80) {
+		t.Fatal("renewal within the incarnation failed")
+	}
+	if _, dl := h.LeaseRead(0, 1); dl != 80 {
+		t.Fatalf("deadline after renew = %d, want 80", dl)
+	}
+
+	// A new incarnation bumps the epoch; the old handle must self-fence.
+	ep2 := h.LeaseAcquire(1, 200)
+	if ep2 != ep+1 {
+		t.Fatalf("second lease epoch = %d, want %d", ep2, ep+1)
+	}
+	if h.LeaseRenew(1, ep, 300) {
+		t.Fatal("stale epoch renewed the new incarnation's lease")
+	}
+	if _, dl := h.LeaseRead(0, 1); dl != 200 {
+		t.Fatalf("fenced renewal changed the deadline to %d", dl)
+	}
+	if !h.LeaseRenew(1, ep2, 300) {
+		t.Fatal("current epoch failed to renew")
+	}
+
+	// Epoch 0 (unleased handle) is a no-op success.
+	if !h.LeaseRenew(1, 0, 1) {
+		t.Fatal("epoch-0 renewal must be a no-op success")
+	}
+	if epoch, dl := h.LeaseRead(0, 1); epoch != ep2 || dl != 300 {
+		t.Fatalf("epoch-0 renewal wrote (%d, %d)", epoch, dl)
+	}
+}
+
+func TestClockTick(t *testing.T) {
+	e := newEnv(t, testConfig(), 1, 2)
+	if now := e.h.ClockNow(0); now != 0 {
+		t.Fatalf("fresh clock = %d, want 0", now)
+	}
+	if got := e.h.ClockTick(0); got != 1 {
+		t.Fatalf("first tick = %d, want 1", got)
+	}
+	if now := e.h.ClockNow(1); now != 1 {
+		t.Fatalf("clock after tick = %d, want 1 (all threads share it)", now)
+	}
+}
+
+func TestClaimArbitration(t *testing.T) {
+	e := newEnv(t, testConfig(), 2, 2)
+	h := e.h
+	h.MarkCrashed(0)
+
+	// Claimant 2 (lease valid until 100) wins the claim.
+	h.LeaseAcquire(2, 100)
+	tok2, ok := h.ClaimAcquire(2, 0, 10)
+	if !ok || tok2.Claimant != 2 || tok2.Gen != 1 {
+		t.Fatalf("first claim = (%+v, %v), want claimant 2 gen 1", tok2, ok)
+	}
+	if !h.ClaimHeldBy(0, tok2) {
+		t.Fatal("fresh claim not held by its token")
+	}
+
+	// Claimant 3 must not supersede while 2's own lease is valid.
+	if _, ok := h.ClaimAcquire(3, 0, 10); ok {
+		t.Fatal("claim superseded while the holder's lease was valid")
+	}
+
+	// Once 2's lease expires, 3 supersedes with generation+1.
+	tok3, ok := h.ClaimAcquire(3, 0, 200)
+	if !ok || tok3.Gen != 2 {
+		t.Fatalf("supersede = (%+v, %v), want gen 2", tok3, ok)
+	}
+	if h.ClaimHeldBy(0, tok2) {
+		t.Fatal("superseded token still matches the claim word")
+	}
+
+	// Release keeps the generation, so the stale token can never match.
+	h.ClaimRelease(0, tok3)
+	if _, gen, held := h.ClaimRead(3, 0); held || gen != 2 {
+		t.Fatalf("after release: held=%v gen=%d, want released gen 2", held, gen)
+	}
+	if h.ClaimHeldBy(0, tok3) {
+		t.Fatal("released token still matches")
+	}
+	h.ClaimRelease(0, tok3) // releasing again is a no-op
+
+	// The next acquisition continues the generation sequence.
+	tok4, ok := h.ClaimAcquire(3, 0, 200)
+	if !ok || tok4.Gen != 3 {
+		t.Fatalf("post-release claim = (%+v, %v), want gen 3", tok4, ok)
+	}
+
+	// A claimant holding a stale claim of its own may supersede itself
+	// (its manager state died with its process; the word is all that is
+	// left).
+	tok5, ok := h.ClaimAcquire(3, 0, 200)
+	if !ok || tok5.Gen != 4 {
+		t.Fatalf("self-supersede = (%+v, %v), want gen 4", tok5, ok)
+	}
+	h.ClaimRelease(0, tok5)
+}
+
+func TestFencedRecoveryAtEntry(t *testing.T) {
+	e := newEnv(t, testConfig(), 2, 2)
+	h := e.h
+	seedLiveAllocs(e)
+	h.MarkCrashed(0)
+
+	// Claimant 2's lease is already expired when claimant 3 looks.
+	h.LeaseAcquire(2, 10)
+	tok2, ok := h.ClaimAcquire(2, 0, 5)
+	if !ok {
+		t.Fatal("claim failed")
+	}
+	tok3, ok := h.ClaimAcquire(3, 0, 50)
+	if !ok {
+		t.Fatal("supersede failed")
+	}
+
+	// The superseded claimant is fenced before writing anything.
+	if _, err := h.RecoverThreadFenced(0, e.spaces[1], tok2); !errors.Is(err, ErrFenced) {
+		t.Fatalf("stale claimant got %v, want ErrFenced", err)
+	}
+	if h.Alive(0) {
+		t.Fatal("fenced recovery left the slot alive")
+	}
+
+	// The winner commits.
+	if _, err := h.RecoverThreadFenced(0, e.spaces[1], tok3); err != nil {
+		t.Fatalf("winning recovery: %v", err)
+	}
+	h.ClaimRelease(0, tok3)
+	if !h.Alive(0) {
+		t.Fatal("slot dead after winning recovery")
+	}
+	e.checkAll(3)
+}
+
+func TestFencedRecoveryAtCommit(t *testing.T) {
+	e := newEnv(t, testConfig(), 2, 2)
+	h := e.h
+	seedLiveAllocs(e)
+	h.MarkCrashed(0)
+
+	h.LeaseAcquire(2, 10)
+	tok2, ok := h.ClaimAcquire(2, 0, 5)
+	if !ok {
+		t.Fatal("claim failed")
+	}
+
+	// Supersede between the entry check and the commit check: the loser
+	// must drain its cache and leave the slot dead.
+	var tok3 ClaimToken
+	h.testHookPreCommit = func(tid int) {
+		h.testHookPreCommit = nil
+		var ok bool
+		tok3, ok = h.ClaimAcquire(3, 0, 50)
+		if !ok {
+			t.Fatal("supersede inside recovery failed")
+		}
+	}
+	if _, err := h.RecoverThreadFenced(0, e.spaces[1], tok2); !errors.Is(err, ErrFenced) {
+		t.Fatalf("superseded-at-commit claimant got %v, want ErrFenced", err)
+	}
+	if h.Alive(0) {
+		t.Fatal("commit-fenced recovery left the slot alive")
+	}
+
+	// The superseding winner re-runs the same idempotent recovery.
+	if _, err := h.RecoverThreadFenced(0, e.spaces[1], tok3); err != nil {
+		t.Fatalf("winning recovery: %v", err)
+	}
+	h.ClaimRelease(0, tok3)
+	if !h.Alive(0) {
+		t.Fatal("slot dead after winning recovery")
+	}
+	e.checkAll(3)
+}
+
+// seedLiveAllocs gives the soon-to-crash thread some state so recovery
+// has real rebuilds to do.
+func seedLiveAllocs(e *env) {
+	e.alloc(0, 64)
+	e.alloc(0, 5000)
+	e.alloc(0, largeMax+1) // huge
+}
+
+func TestClaimRedoReleasesOrphan(t *testing.T) {
+	e := newEnv(t, testConfig(), 2, 2)
+	h := e.h
+	h.MarkCrashed(0)
+
+	// Claimant 2 claims victim 0, then dies holding the claim with the
+	// opClaim record still in its oplog.
+	tok2, ok := h.ClaimAcquire(2, 0, 5)
+	if !ok {
+		t.Fatal("claim failed")
+	}
+	h.MarkCrashed(2)
+
+	// Recovering the recoverer redoes opClaim and releases the orphan.
+	rep, err := h.RecoverThread(2, e.spaces[1])
+	if err != nil {
+		t.Fatalf("recover claimant: %v", err)
+	}
+	if rep.Op != "claim" {
+		t.Fatalf("claimant's in-flight op = %q, want \"claim\"", rep.Op)
+	}
+	if _, gen, held := h.ClaimRead(3, 0); held || gen != tok2.Gen {
+		t.Fatalf("orphaned claim: held=%v gen=%d, want released gen %d", held, gen, tok2.Gen)
+	}
+
+	// Victim 0 is still dead; any survivor can now claim and repair it.
+	tok3, ok := h.ClaimAcquire(3, 0, 5)
+	if !ok || tok3.Gen != tok2.Gen+1 {
+		t.Fatalf("post-orphan claim = (%+v, %v), want gen %d", tok3, ok, tok2.Gen+1)
+	}
+	if _, err := h.RecoverThreadFenced(0, e.spaces[1], tok3); err != nil {
+		t.Fatalf("recover victim: %v", err)
+	}
+	h.ClaimRelease(0, tok3)
+	e.checkAll(3)
+}
+
+func TestClaimRearmRestoresRedo(t *testing.T) {
+	e := newEnv(t, testConfig(), 2, 2)
+	h := e.h
+	h.MarkCrashed(0)
+
+	tok2, ok := h.ClaimAcquire(2, 0, 5)
+	if !ok {
+		t.Fatal("claim failed")
+	}
+	// The claimant keeps allocating while holding the claim (the retry
+	// window after a repair crash); its application ops retire the
+	// opClaim record.
+	e.alloc(2, 64)
+	h.ClaimRearm(0, tok2)
+	h.MarkCrashed(2)
+
+	if _, err := h.RecoverThread(2, e.spaces[1]); err != nil {
+		t.Fatalf("recover claimant: %v", err)
+	}
+	if _, _, held := h.ClaimRead(3, 0); held {
+		t.Fatal("rearmed claim not released by the claimant's recovery")
+	}
+}

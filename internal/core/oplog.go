@@ -40,6 +40,7 @@ const (
 	opHugeFree    // a = page, b = descriptor ID
 	opHugeUnmap   // a = page, b = descriptor ID (hazard cleanup)
 	opHugeReclaim // a = page, b = descriptor ID (owner reclamation)
+	opClaim       // a = victim tid, b = claim generation; ver on the claim word
 
 	// opLargeBit distinguishes large-heap slab operations from small.
 	opLargeBit = 1 << 5
@@ -54,7 +55,7 @@ const opAMask = 1<<26 - 1
 // leak it into the CAS version sequence.
 func opCASBearing(op int) bool {
 	switch op &^ opLargeBit {
-	case opExtend, opPopGlobal, opPushGlobal, opRemoteFree, opReserve:
+	case opExtend, opPopGlobal, opPushGlobal, opRemoteFree, opReserve, opClaim:
 		return true
 	}
 	return false
@@ -68,7 +69,7 @@ func opName(op int) string {
 		"none", "extend", "pop-global", "push-global", "init", "detach",
 		"disown", "alloc-block", "local-free", "empty", "remote-free",
 		"steal", "reserve", "huge-alloc", "huge-free", "huge-unmap",
-		"huge-reclaim",
+		"huge-reclaim", "claim",
 	}
 	n := "invalid"
 	if base < len(names) {

@@ -64,15 +64,43 @@ type RecoveryReport struct {
 // (the same process if it survived, or a restarted process's fresh
 // space). It returns a report of what was in flight.
 func (h *Heap) RecoverThread(tid int, space *vas.Space) (RecoveryReport, error) {
+	return h.recoverThread(tid, space, ClaimToken{})
+}
+
+// RecoverThreadFenced is RecoverThread under a recovery claim: the
+// repair only commits while tok still holds victim tid's claim word. If
+// the claim was superseded — this claimant's own lease expired and
+// another survivor took over — the attempt returns ErrFenced, leaves the
+// slot dead, and writes nothing the winner's re-run does not rewrite.
+func (h *Heap) RecoverThreadFenced(tid int, space *vas.Space, tok ClaimToken) (RecoveryReport, error) {
+	if tok.zero() {
+		return RecoveryReport{}, fmt.Errorf("core: RecoverThreadFenced needs a claim token")
+	}
+	return h.recoverThread(tid, space, tok)
+}
+
+// recoverThread serializes per-slot through recMu: a fenced loser and
+// the superseding winner never interleave their recovery writes. This is
+// Go-level serialization standing in for what real hardware gets from
+// the fence check executing under the claim word's coherence point; the
+// safety argument (DESIGN.md §6.2) is that a loser's writes are all
+// idempotent redo derived from durable state, and the winner re-runs the
+// same redo behind the lock.
+func (h *Heap) recoverThread(tid int, space *vas.Space, tok ClaimToken) (RecoveryReport, error) {
 	if tid < 0 || tid >= h.cfg.NumThreads {
 		return RecoveryReport{}, fmt.Errorf("core: thread ID %d out of range", tid)
 	}
+	h.recMu[tid].Lock()
+	defer h.recMu[tid].Unlock()
 	old := &h.threads[tid]
 	if !old.attached {
 		return RecoveryReport{}, fmt.Errorf("core: thread %d was never attached", tid)
 	}
 	if old.alive {
 		return RecoveryReport{}, fmt.Errorf("core: thread %d is alive: %w", tid, ErrNotCrashed)
+	}
+	if !tok.zero() && !h.ClaimHeldBy(tid, tok) {
+		return RecoveryReport{}, ErrFenced
 	}
 	// Start cold: a fresh cache so recovery cannot observe the crashed
 	// incarnation's stale lines, and continue the version sequence from
@@ -104,6 +132,19 @@ func (h *Heap) RecoverThread(tid int, space *vas.Space) (RecoveryReport, error) 
 	h.crashPoint(tid, "recover.post-rebuild-large")
 	h.rebuildHuge(ts, tid)
 	h.crashPoint(tid, "recover.post-rebuild-huge")
+	if h.testHookPreCommit != nil {
+		h.testHookPreCommit(tid)
+	}
+
+	// Fence check at the commit point: if the claim moved while we were
+	// repairing, a superseding claimant owns this slot now. Drain this
+	// attempt's cache — exactly what MarkCrashed would do — and leave the
+	// slot dead; the winner re-runs the same idempotent recovery behind
+	// recMu.
+	if !tok.zero() && !h.ClaimHeldBy(tid, tok) {
+		ts.cache.WritebackAll()
+		return report, ErrFenced
+	}
 
 	// Mark the slot clean, then alive. The record is cleared only after
 	// every redo and rebuild finished: re-running recovery up to this
@@ -240,6 +281,20 @@ func (h *Heap) redo(ts *threadState, tid, op int, a uint32, b uint16, ver uint16
 
 	case opHugeReclaim:
 		h.redoHugeReclaim(ts, tid, int(b), uint64(a)*uint64(h.cfg.PageSize))
+
+	case opClaim:
+		// The thread died between claiming victim a's recovery and
+		// releasing the claim. If the claim word still carries our
+		// (claimant, generation) pair, release it so another survivor can
+		// take over — recovery of the recoverer. If it was superseded or
+		// already released, the exact-payload check makes this a no-op.
+		victim := int(a)
+		w := h.claimW(victim)
+		cur := h.dcas.Load(tid, w)
+		if atomicx.Payload(cur) == packClaim(tid, b) {
+			h.dcas.Begin(tid, ver)
+			h.dcas.CAS(tid, ver, w, cur, packClaim(-1, b))
+		}
 
 	default:
 		h.fail("recovery: unknown op %d in thread %d's record", op, tid)

@@ -39,7 +39,10 @@ func (h *Heap) Footprint(tid int) Footprint {
 	largeLen := uint64(h.large.length(tid))
 
 	var f Footprint
-	fixedHW := uint64(4 + h.cfg.NumReservations + h.cfg.NumThreads)
+	// Fixed words: lengths + free heads (4), reservation array, then the
+	// per-thread help array, clock word, lease table, and claim words of
+	// the liveness plane.
+	fixedHW := uint64(4 + h.cfg.NumReservations + 1 + 3*h.cfg.NumThreads)
 	f.HWccBytes = 8 * (fixedHW + smallLen + largeLen)
 
 	f.MetaBytes = 8 * (smallLen*uint64(h.lay.SmallDescStride) +

@@ -1,0 +1,342 @@
+// Package liveness is the pod's self-healing layer (DESIGN.md §6.2):
+// survivor-driven failure detection and repair over the core heap's
+// lease/claim plane, so a pod keeps serving traffic through crashes
+// without a harness calling Recover or Restart by hand.
+//
+// Every live thread renews a heartbeat lease in the HWcc region as a
+// side effect of running; a per-process Manager sweeps the lease table,
+// and when a lease expires it wins a fenced recovery claim, repairs the
+// slot with RecoverThreadFenced, re-leases it, and hands it to its own
+// process. Claims are recorded in the claimant's redo log, so a claimant
+// that dies mid-repair is itself repaired — and its orphaned claim
+// released — by the next survivor (recovery of the recoverer).
+//
+// Time is the pod's logical clock: one tick per Thread.Run anywhere in
+// the pod. Lease durations are therefore measured in pod-wide operations
+// rather than wall time, which keeps deterministic single-goroutine
+// harnesses (chaos, mttr) exactly reproducible while still being honest
+// about the protocol: a slot is declared dead only after the whole pod
+// has made LeaseTicks of progress without a renewal from it.
+package liveness
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"cxlalloc/internal/core"
+	"cxlalloc/internal/crash"
+	"cxlalloc/internal/vas"
+)
+
+// SelfFencePoint is the synthetic crash-point name reported when a
+// thread's lease renewal observes a foreign epoch: the pod declared this
+// incarnation dead and recovered the slot elsewhere, so the handle must
+// stop touching shared state immediately.
+const SelfFencePoint = "liveness.self-fence"
+
+// Config tunes the heartbeat protocol. All values are logical-clock
+// ticks; zero fields take the defaults.
+type Config struct {
+	// RenewInterval is how often a running thread renews its lease.
+	RenewInterval uint64
+	// GraceMult scales the lease length: a lease lasts
+	// RenewInterval*GraceMult ticks, so a thread must miss GraceMult
+	// consecutive renewal windows before the watchdog may declare it
+	// dead. This is the false-takeover guard — a merely slow thread
+	// renews long before its deadline.
+	GraceMult uint64
+	// PollInterval is how often each process's watchdog sweeps the
+	// lease table.
+	PollInterval uint64
+}
+
+// WithDefaults fills zero fields: renew every 4 ticks, 6x grace
+// (leases last 24 ticks), poll every 4 ticks.
+func (c Config) WithDefaults() Config {
+	if c.RenewInterval == 0 {
+		c.RenewInterval = 4
+	}
+	if c.GraceMult == 0 {
+		c.GraceMult = 6
+	}
+	if c.PollInterval == 0 {
+		c.PollInterval = 4
+	}
+	return c
+}
+
+// LeaseTicks is the lease duration: RenewInterval * GraceMult.
+func (c Config) LeaseTicks() uint64 { return c.RenewInterval * c.GraceMult }
+
+// Kind classifies a watchdog event.
+type Kind int
+
+const (
+	// KindClaim: the watchdog won the recovery claim for an expired slot.
+	KindClaim Kind = iota
+	// KindRepair: a claimed repair committed; the slot is re-leased and
+	// adopted by the claimant's process.
+	KindRepair
+	// KindRepairCrash: an injected crash fired inside a claimed repair;
+	// the claim is kept and the repair retried on a later poll.
+	KindRepairCrash
+	// KindFenced: this claimant lost its claim mid-repair to a
+	// superseding survivor and aborted without committing.
+	KindFenced
+	// KindFalseAlarm: the claimed slot turned out to be alive (or was
+	// already repaired); the claim was released without a teardown.
+	KindFalseAlarm
+	// KindRescue: an alive-but-unleased slot (its repairer died between
+	// committing and re-leasing) was re-leased and re-adopted.
+	KindRescue
+	// KindSelfFence: a thread's own renewal observed a foreign epoch.
+	KindSelfFence
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindClaim:
+		return "claim"
+	case KindRepair:
+		return "repair"
+	case KindRepairCrash:
+		return "repair-crash"
+	case KindFenced:
+		return "fenced"
+	case KindFalseAlarm:
+		return "false-alarm"
+	case KindRescue:
+		return "rescue"
+	case KindSelfFence:
+		return "self-fence"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one observable watchdog action. Events are emitted
+// synchronously from the thread whose Run triggered them, so a
+// single-goroutine harness sees them in deterministic order.
+type Event struct {
+	Kind     Kind
+	Tick     uint64 // logical-clock time of the poll
+	Victim   int    // thread slot acted on
+	Claimant int    // thread that ran the watchdog step
+	Gen      uint16 // claim generation (claim-related kinds)
+	// WasAlive records whether the victim's slot was actually alive at
+	// claim time — the simulator's ground truth for the false-takeover
+	// metric. A correctly tuned grace multiple keeps this always false.
+	WasAlive bool
+	// Report is the recovery report (KindRepair only).
+	Report core.RecoveryReport
+	// Point is the crash point that fired (KindRepairCrash only).
+	Point string
+}
+
+// Hooks connect a Manager to the pod layer without an import cycle.
+type Hooks struct {
+	// Adopt transfers ownership of a repaired slot to the Manager's
+	// process. Called after the repair committed and the slot was
+	// re-leased, outside any heap lock.
+	Adopt func(victim int)
+	// Rescue re-adopts an alive-but-unleased slot to the process owning
+	// the space it is bound to. It reports whether that process is still
+	// alive; if not, the Manager tears the slot down and repairs it into
+	// its own process on a later poll.
+	Rescue func(victim int) bool
+	// Emit receives every event, synchronously.
+	Emit func(Event)
+}
+
+// Manager is one process's watchdog. All methods are safe for concurrent
+// use by that process's threads.
+type Manager struct {
+	heap  *core.Heap
+	space *vas.Space
+	cfg   Config
+	hooks Hooks
+
+	mu      sync.Mutex
+	renewAt map[int]uint64 // per-tid next renewal tick
+	pollAt  uint64         // next lease-table sweep tick
+
+	// pollMu serializes sweeps and guards pending: claims this manager
+	// holds whose repair crashed and awaits retry.
+	pollMu  sync.Mutex
+	pending map[int]core.ClaimToken
+
+	falseTakeovers atomic.Uint64
+	repairs        atomic.Uint64
+}
+
+// NewManager returns a watchdog recovering victims into space.
+func NewManager(heap *core.Heap, space *vas.Space, cfg Config, hooks Hooks) *Manager {
+	return &Manager{
+		heap:    heap,
+		space:   space,
+		cfg:     cfg.WithDefaults(),
+		hooks:   hooks,
+		renewAt: make(map[int]uint64),
+		pending: make(map[int]core.ClaimToken),
+	}
+}
+
+// Config returns the normalized configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+// FalseTakeovers returns how many claims this manager won on slots that
+// were actually alive. Must stay 0 under a sane grace multiple.
+func (m *Manager) FalseTakeovers() uint64 { return m.falseTakeovers.Load() }
+
+// Repairs returns how many repairs this manager committed.
+func (m *Manager) Repairs() uint64 { return m.repairs.Load() }
+
+// Heartbeat is one liveness step for thread tid, piggybacked on every
+// Thread.Run: tick the pod clock, renew tid's lease when due, and sweep
+// the lease table when due. epoch is the lease epoch tid's handle was
+// minted under; fenced is true when the renewal observed a different
+// epoch, meaning this incarnation was declared dead and its handle must
+// not touch shared state again.
+//
+// An injected crash inside the claim protocol or a claimed repair
+// propagates as a *crash.Crashed panic, exactly like a crash in an
+// allocator operation.
+func (m *Manager) Heartbeat(tid int, epoch uint16) (fenced bool) {
+	now := m.heap.ClockTick(tid)
+	m.mu.Lock()
+	renewDue := now >= m.renewAt[tid]
+	if renewDue {
+		m.renewAt[tid] = now + m.cfg.RenewInterval
+	}
+	pollDue := now >= m.pollAt
+	if pollDue {
+		m.pollAt = now + m.cfg.PollInterval
+	}
+	m.mu.Unlock()
+	if renewDue && !m.heap.LeaseRenew(tid, epoch, now+m.cfg.LeaseTicks()) {
+		m.emit(Event{Kind: KindSelfFence, Tick: now, Victim: tid, Claimant: tid})
+		return true
+	}
+	if pollDue {
+		m.Poll(tid, now)
+	}
+	return false
+}
+
+// Poll sweeps the lease table once from thread tid's vantage point,
+// claiming and repairing every expired slot. Exposed for tests and
+// experiments; Heartbeat calls it on the configured cadence.
+func (m *Manager) Poll(tid int, now uint64) {
+	m.pollMu.Lock()
+	defer m.pollMu.Unlock()
+	for v := 0; v < m.heap.Config().NumThreads; v++ {
+		if v == tid {
+			continue
+		}
+		if !m.heap.LeaseExpired(tid, v, now) {
+			// Healthy, or repaired-and-releeased by someone else; any
+			// pending token of ours is stale either way.
+			delete(m.pending, v)
+			continue
+		}
+		m.pollSlot(tid, v, now)
+	}
+}
+
+// pollSlot runs the claim state machine for one expired slot.
+func (m *Manager) pollSlot(tid, v int, now uint64) {
+	heap := m.heap
+	tok, retrying := m.pending[v]
+	if retrying && tok.Claimant == tid && heap.ClaimHeldBy(v, tok) {
+		// Our earlier repair of v crashed; restore the die-while-holding
+		// release guarantee for the retry window.
+		heap.ClaimRearm(v, tok)
+	} else {
+		delete(m.pending, v)
+		// Claim-word gate: defer to a different claimant that is still
+		// alive (its own lease is valid). A claim whose holder's lease
+		// expired is superseded below; a claim recorded under our tid by
+		// a manager that died with its process is superseded too.
+		if holder, _, held := heap.ClaimRead(tid, v); held && holder != tid &&
+			!heap.LeaseExpired(tid, holder, now) {
+			return
+		}
+		wasAlive := heap.Alive(v)
+		var ok bool
+		tok, ok = heap.ClaimAcquire(tid, v, now)
+		if !ok {
+			return
+		}
+		if wasAlive {
+			m.falseTakeovers.Add(1)
+		}
+		m.pending[v] = tok
+		m.emit(Event{Kind: KindClaim, Tick: now, Victim: v, Claimant: tid,
+			Gen: tok.Gen, WasAlive: wasAlive})
+	}
+
+	var rep core.RecoveryReport
+	var rerr error
+	if c := crash.Run(func() { rep, rerr = heap.RecoverThreadFenced(v, m.space, tok) }); c != nil {
+		// The victim crashed again, inside our repair. Keep the claim
+		// (pending survives for the retry), surface the event, and let
+		// the crash propagate to the Run that hosted this poll.
+		m.emit(Event{Kind: KindRepairCrash, Tick: now, Victim: v, Claimant: tid,
+			Gen: tok.Gen, Point: c.Point})
+		panic(c)
+	}
+
+	switch {
+	case rerr == nil:
+		heap.LeaseAcquire(v, now+m.cfg.LeaseTicks())
+		if m.hooks.Adopt != nil {
+			m.hooks.Adopt(v)
+		}
+		heap.ClaimRelease(v, tok)
+		delete(m.pending, v)
+		m.repairs.Add(1)
+		m.emit(Event{Kind: KindRepair, Tick: now, Victim: v, Claimant: tid,
+			Gen: tok.Gen, Report: rep})
+
+	case errors.Is(rerr, core.ErrFenced):
+		// A superseding claimant owns v now; our attempt wrote nothing
+		// durable it does not rewrite.
+		delete(m.pending, v)
+		m.emit(Event{Kind: KindFenced, Tick: now, Victim: v, Claimant: tid, Gen: tok.Gen})
+
+	case errors.Is(rerr, core.ErrNotCrashed):
+		if !heap.Leased(v) {
+			// The slot committed a repair but its claimant died before
+			// re-leasing it: an orphan. Re-lease it; re-adopt it to the
+			// process owning its bound space, or — if that process is
+			// gone — tear it down so a later poll repairs it into ours.
+			if m.hooks.Rescue == nil || !m.hooks.Rescue(v) {
+				heap.MarkCrashed(v)
+				return // keep the claim; retry on the next poll
+			}
+			heap.LeaseAcquire(v, now+m.cfg.LeaseTicks())
+			heap.ClaimRelease(v, tok)
+			delete(m.pending, v)
+			m.emit(Event{Kind: KindRescue, Tick: now, Victim: v, Claimant: tid, Gen: tok.Gen})
+			return
+		}
+		// Alive and leased: a false alarm (the slot's lease expired but
+		// its thread still runs, or another watchdog just finished).
+		// Release without touching the slot — never tear down the living.
+		heap.ClaimRelease(v, tok)
+		delete(m.pending, v)
+		m.emit(Event{Kind: KindFalseAlarm, Tick: now, Victim: v, Claimant: tid, Gen: tok.Gen})
+
+	default:
+		// Harness misuse (out-of-range, never-attached): nothing a
+		// watchdog can converge; surface loudly.
+		panic(rerr)
+	}
+}
+
+func (m *Manager) emit(e Event) {
+	if m.hooks.Emit != nil {
+		m.hooks.Emit(e)
+	}
+}

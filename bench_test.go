@@ -17,10 +17,22 @@ import (
 )
 
 // benchScale sizes harness runs for -bench: one trial, small op counts.
+// Under -short (the CI bench-smoke job runs -benchtime=1x -short) it
+// shrinks further so one iteration of the whole suite finishes in
+// minutes: the dominant cost is faulting in each factory's fresh arena,
+// so the arena drops to 128 MiB and the KV workloads to a few thousand
+// ops — every benchmark still executes end to end.
 func benchScale() bench.Scale {
 	sc := bench.SmallScale()
 	sc.Ops = 20_000
 	sc.Threads = []int{2}
+	if testing.Short() {
+		sc.Ops = 4_000
+		sc.Keyspace = 4_000
+		sc.InitialLoad = 1_000
+		sc.Buckets = 1 << 12
+		sc.ArenaBytes = 1 << 27
+	}
 	return sc
 }
 

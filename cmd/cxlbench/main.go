@@ -8,16 +8,25 @@
 //	cxlbench -exp fig11 -threads 1,4,8,16    # latency sweep
 //	cxlbench -exp table1                     # property matrix
 //	cxlbench -exp fig9 -scale small -out results.ndjson
+//	cxlbench -exp hotpath -json BENCH_hotpath.json -label after
+//	cxlbench -exp hotpath -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Experiments: table1, table2, fig7, fig8, fig9, fig10, fig11, fig12,
 // ablation-recovery, ablation-owner-cache, ablation-hwcc,
-// ablation-disown, chaos, all.
+// ablation-disown, chaos, mttr, hotpath, all.
+//
+// -json appends a labeled run (rows sorted, stable field order) to a
+// BENCH_*.json trajectory file, so per-PR before/after numbers are
+// machine-recorded and diffable in review. -cpuprofile/-memprofile
+// write standard pprof profiles of whatever experiments ran.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -27,16 +36,33 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment to run (comma-separated)")
-		scaleName = flag.String("scale", "default", "small | default")
-		out       = flag.String("out", "", "append NDJSON results to this file")
-		workloads = flag.String("workloads", "", "fig8: comma-separated workload filter")
-		threads   = flag.String("threads", "", "override thread counts, e.g. 1,2,4,8")
-		procs     = flag.Int("procs", 0, "override process count")
-		ops       = flag.Int("ops", 0, "override total operations per trial")
-		trials    = flag.Int("trials", 0, "override trial count")
+		exp        = flag.String("exp", "all", "experiment to run (comma-separated)")
+		scaleName  = flag.String("scale", "default", "small | default")
+		out        = flag.String("out", "", "append NDJSON results to this file")
+		jsonOut    = flag.String("json", "", "append a labeled, stably sorted run to this BENCH_*.json file")
+		label      = flag.String("label", "current", "run label recorded in -json output (e.g. before, after)")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile after the run to this file")
+		workloads  = flag.String("workloads", "", "fig8: comma-separated workload filter")
+		threads    = flag.String("threads", "", "override thread counts, e.g. 1,2,4,8")
+		procs      = flag.Int("procs", 0, "override process count")
+		ops        = flag.Int("ops", 0, "override total operations per trial")
+		trials     = flag.Int("trials", 0, "override trial count")
+		arena      = flag.Int("arena", 0, "override per-allocator backing memory (bytes)")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	sc := bench.DefaultScale()
 	if *scaleName == "small" {
@@ -61,6 +87,9 @@ func main() {
 	if *trials > 0 {
 		sc.Trials = *trials
 	}
+	if *arena > 0 {
+		sc.ArenaBytes = *arena
+	}
 
 	var wl []string
 	if *workloads != "" {
@@ -70,7 +99,7 @@ func main() {
 	exps := strings.Split(*exp, ",")
 	if *exp == "all" {
 		exps = []string{"table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
-			"ablation-recovery", "ablation-owner-cache", "ablation-hwcc", "ablation-disown", "chaos", "mttr"}
+			"ablation-recovery", "ablation-owner-cache", "ablation-hwcc", "ablation-disown", "chaos", "mttr", "hotpath"}
 	}
 
 	var all []bench.Row
@@ -93,6 +122,23 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d rows to %s\n", len(all), *out)
+	}
+	if *jsonOut != "" {
+		if err := bench.AppendBenchJSON(*jsonOut, *label, all); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "recorded %d rows as run %q in %s\n", len(all), *label, *jsonOut)
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
 	}
 }
 
@@ -126,6 +172,8 @@ func run(e string, sc bench.Scale, wl []string) ([]bench.Row, error) {
 		return runChaos(sc)
 	case "mttr":
 		return bench.RunMTTR(sc)
+	case "hotpath":
+		return bench.RunHotpath(sc)
 	default:
 		return nil, fmt.Errorf("unknown experiment %q", e)
 	}

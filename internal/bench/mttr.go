@@ -22,7 +22,7 @@ import (
 
 // MTTRResult is one lease setting's outcome.
 type MTTRResult struct {
-	Grace          uint64  // lease = RenewInterval * Grace ticks
+	Grace          uint64 // lease = RenewInterval * Grace ticks
 	LeaseTicks     uint64
 	Episodes       int     // kill episodes driven
 	Repairs        uint64  // watchdog repairs observed

@@ -157,17 +157,31 @@ type Manager struct {
 	cfg   Config
 	hooks Hooks
 
-	mu      sync.Mutex
-	renewAt map[int]uint64 // per-tid next renewal tick
-	pollAt  uint64         // next lease-table sweep tick
+	// Run-path state, deliberately lock-free: Heartbeat rides on every
+	// Thread.Run in the pod, so a shared mutex here serializes the whole
+	// pod's hot path. renewAt is per-slot (only slot tid's handle touches
+	// entry tid, and each entry is its own cache line's worth of state
+	// for that thread alone); pollAt is a single word advanced by CAS, so
+	// exactly one thread wins each due sweep window.
+	renewAt []paddedTick  // per-tid next renewal tick
+	pollAt  atomic.Uint64 // next lease-table sweep tick
 
 	// pollMu serializes sweeps and guards pending: claims this manager
-	// holds whose repair crashed and awaits retry.
+	// holds whose repair crashed and awaits retry. Sweeps are rare
+	// (PollInterval) and heavy; a mutex is the right tool off the hot
+	// path.
 	pollMu  sync.Mutex
 	pending map[int]core.ClaimToken
 
 	falseTakeovers atomic.Uint64
 	repairs        atomic.Uint64
+}
+
+// paddedTick is one thread's renewal deadline on its own cache line, so
+// concurrent heartbeats from different threads never false-share.
+type paddedTick struct {
+	at atomic.Uint64
+	_  [7]uint64
 }
 
 // NewManager returns a watchdog recovering victims into space.
@@ -177,7 +191,7 @@ func NewManager(heap *core.Heap, space *vas.Space, cfg Config, hooks Hooks) *Man
 		space:   space,
 		cfg:     cfg.WithDefaults(),
 		hooks:   hooks,
-		renewAt: make(map[int]uint64),
+		renewAt: make([]paddedTick, heap.Config().NumThreads),
 		pending: make(map[int]core.ClaimToken),
 	}
 }
@@ -204,16 +218,28 @@ func (m *Manager) Repairs() uint64 { return m.repairs.Load() }
 // allocator operation.
 func (m *Manager) Heartbeat(tid int, epoch uint16) (fenced bool) {
 	now := m.heap.ClockTick(tid)
-	m.mu.Lock()
-	renewDue := now >= m.renewAt[tid]
+	// Renewal: tid's own word, written only by tid's handle. A plain
+	// atomic load/store pair (no CAS) is enough — a duplicate renewal
+	// from a racing handle to the same slot would be benign (leases are
+	// monotone), and pinned threads never race themselves.
+	renewDue := now >= m.renewAt[tid].at.Load()
 	if renewDue {
-		m.renewAt[tid] = now + m.cfg.RenewInterval
+		m.renewAt[tid].at.Store(now + m.cfg.RenewInterval)
 	}
-	pollDue := now >= m.pollAt
-	if pollDue {
-		m.pollAt = now + m.cfg.PollInterval
+	// Sweep arbitration: one CAS claims the whole due window. A loser's
+	// CAS failure means another thread won this window and will poll;
+	// re-check in case the clock has already passed the *new* deadline.
+	pollDue := false
+	for {
+		at := m.pollAt.Load()
+		if now < at {
+			break
+		}
+		if m.pollAt.CompareAndSwap(at, now+m.cfg.PollInterval) {
+			pollDue = true
+			break
+		}
 	}
-	m.mu.Unlock()
 	if renewDue && !m.heap.LeaseRenew(tid, epoch, now+m.cfg.LeaseTicks()) {
 		m.emit(Event{Kind: KindSelfFence, Tick: now, Victim: tid, Claimant: tid})
 		return true

@@ -4,6 +4,12 @@ package memsim
 // x86 line size the paper's flush/fence reasoning assumes).
 const LineWords = 8
 
+const (
+	lineShift = 3 // log2(LineWords)
+	lineMask  = LineWords - 1
+	emptyLine = int32(-1) // slot/MRU sentinel: no line
+)
+
 // Cache is one simulated core-private CPU cache over the device's SWcc
 // region. The paper assumes threads are pinned to cores (§3.2.2), so
 // each simulated thread owns exactly one Cache and no two threads share
@@ -30,53 +36,189 @@ const LineWords = 8
 // cache and hit memory directly; Flush and Fence become no-ops. The
 // allocator code is identical in both modes, matching the paper's claim
 // that cxlalloc "remains correct if there is full HWcc".
+//
+// Implementation (DESIGN.md §7): because every allocator metadata access
+// funnels through here, the line table is an open-addressing hash table
+// of *inline* lines — one flat pointer-free backing array the GC never
+// scans, and a resident access never allocates. Deletion (Flush evicts)
+// uses backward-shift compaction, so there are no tombstones and probe
+// chains stay short at any load factor. A last-line MRU fast path sits
+// in front of the table: metadata words are heavily line-local
+// (descriptor words are adjacent), so most Load/Store calls reduce to
+// one integer compare plus an array access.
 type Cache struct {
 	dev   *Device
-	lines map[int]*cacheLine
 	stats CacheStats
+
+	tab    []cacheSlot
+	mask   uint32 // len(tab)-1; len(tab) is a power of two
+	n      uint32 // occupied slots
+	growAt uint32 // occupancy that triggers doubling
+	shift  uint   // 64 - log2(len(tab)), for Fibonacci hashing
+
+	// MRU fast path: tab[lastPos] holds line lastIdx (emptyLine = none).
+	// Invalidated whenever a slot moves (eviction, rehash).
+	lastIdx int32
+	lastPos uint32
 }
 
-type cacheLine struct {
-	words [LineWords]uint64
+// cacheSlot is one inline cache line. idx is the line index within the
+// SWcc region, or emptyLine for a free slot.
+type cacheSlot struct {
+	idx   int32
 	dirty uint8 // bitmask: bit i set => words[i] modified locally
+	words [LineWords]uint64
 }
 
 // CacheStats counts coherence-relevant events; the benchmarks report
 // them to show where the SWcc protocol pays its costs.
 type CacheStats struct {
 	Loads      uint64 // loads served (hit or miss)
-	Hits       uint64 // loads served from a resident line
+	Hits       uint64 // loads/stores served from a resident line
 	Stores     uint64
 	Fetches    uint64 // lines fetched from device memory
 	Writebacks uint64 // lines written back to device memory
-	Flushes    uint64 // explicit Flush calls
+	Flushes    uint64 // explicit Flush calls (incl. LoadFresh's, both modes)
 	Fences     uint64
 }
 
+// initialSlots is the starting table size: 64 slots ≈ 4.5 KiB per
+// thread, enough for a thread's descriptor working set without growth in
+// the common case.
+const initialSlots = 64
+
 // NewCache returns an empty cache over the device's SWcc region.
 func (d *Device) NewCache() *Cache {
-	return &Cache{dev: d, lines: make(map[int]*cacheLine)}
+	c := &Cache{dev: d, lastIdx: emptyLine}
+	c.setTable(make([]cacheSlot, initialSlots))
+	return c
+}
+
+// setTable installs tab (len a power of two) as the — empty — line
+// table and derives the probe parameters.
+func (c *Cache) setTable(tab []cacheSlot) {
+	for i := range tab {
+		tab[i].idx = emptyLine
+	}
+	c.tab = tab
+	c.mask = uint32(len(tab) - 1)
+	c.growAt = uint32(len(tab)/4) * 3
+	c.shift = 64 - uint(trailingOnes(c.mask))
+	c.n = 0
+	c.lastIdx = emptyLine
+}
+
+// trailingOnes counts the set bits of a 2^k-1 mask (i.e. k).
+func trailingOnes(m uint32) int {
+	k := 0
+	for ; m != 0; m >>= 1 {
+		k++
+	}
+	return k
+}
+
+// home is the preferred slot of line idx: Fibonacci hashing spreads the
+// strided line indices allocator metadata produces evenly, whatever the
+// table size.
+func (c *Cache) home(idx int32) uint32 {
+	return uint32((uint64(uint32(idx)) * 0x9E3779B97F4A7C15) >> c.shift)
+}
+
+// find locates line idx. It returns the slot holding it (ok=true), or
+// the empty slot where it would be inserted (ok=false).
+func (c *Cache) find(idx int32) (pos uint32, ok bool) {
+	pos = c.home(idx)
+	for {
+		s := &c.tab[pos]
+		if s.idx == idx {
+			return pos, true
+		}
+		if s.idx == emptyLine {
+			return pos, false
+		}
+		pos = (pos + 1) & c.mask
+	}
+}
+
+// fetch returns the slot holding line idx, fetching it from device
+// memory if it is not resident, and records it as the MRU line.
+func (c *Cache) fetch(idx int32) uint32 {
+	pos, ok := c.find(idx)
+	if ok {
+		c.stats.Hits++
+	} else {
+		if c.n >= c.growAt {
+			c.grow()
+			pos, _ = c.find(idx)
+		}
+		s := &c.tab[pos]
+		s.idx = idx
+		s.dirty = 0
+		base := int(idx) << lineShift
+		for i := 0; i < LineWords; i++ {
+			s.words[i] = c.dev.swccLoad(base + i)
+		}
+		c.n++
+		c.stats.Fetches++
+	}
+	c.lastIdx = idx
+	c.lastPos = pos
+	return pos
+}
+
+// grow doubles the table, re-slotting every resident line. This is the
+// only allocation on the access path, amortized O(1) and absent entirely
+// once the table covers the thread's working set.
+func (c *Cache) grow() {
+	old := c.tab
+	c.setTable(make([]cacheSlot, 2*len(old)))
+	for i := range old {
+		if old[i].idx == emptyLine {
+			continue
+		}
+		pos, _ := c.find(old[i].idx)
+		c.tab[pos] = old[i]
+		c.n++
+	}
+}
+
+// evict removes the entry at pos by backward-shift compaction: every
+// entry in the following probe cluster whose home lies outside the
+// cyclic interval (hole, entry] slides back into the hole, so lookups
+// need no tombstone checks.
+func (c *Cache) evict(pos uint32) {
+	mask := c.mask
+	i := pos
+	for {
+		c.tab[i].idx = emptyLine
+		j := i
+		for {
+			j = (j + 1) & mask
+			s := &c.tab[j]
+			if s.idx == emptyLine {
+				c.n--
+				c.lastIdx = emptyLine
+				return
+			}
+			k := c.home(s.idx)
+			// Does k lie cyclically in (i, j]? Then s is reachable from
+			// its home without passing the hole and may stay.
+			if i <= j {
+				if i < k && k <= j {
+					continue
+				}
+			} else if i < k || k <= j {
+				continue
+			}
+			c.tab[i] = *s
+			i = j
+			break
+		}
+	}
 }
 
 // Stats returns a copy of the event counters.
 func (c *Cache) Stats() CacheStats { return c.stats }
-
-func (c *Cache) line(w int) (*cacheLine, int) {
-	idx := w / LineWords
-	l := c.lines[idx]
-	if l == nil {
-		l = &cacheLine{}
-		base := idx * LineWords
-		for i := 0; i < LineWords; i++ {
-			l.words[i] = c.dev.swccLoad(base + i)
-		}
-		c.lines[idx] = l
-		c.stats.Fetches++
-	} else {
-		c.stats.Hits++
-	}
-	return l, w % LineWords
-}
 
 // Load returns SWcc word w, possibly from a stale cached line.
 func (c *Cache) Load(w int) uint64 {
@@ -84,8 +226,12 @@ func (c *Cache) Load(w int) uint64 {
 	if c.dev.cfg.Coherent {
 		return c.dev.swccLoad(w)
 	}
-	l, i := c.line(w)
-	return l.words[i]
+	idx := int32(uint(w) >> lineShift)
+	if idx == c.lastIdx {
+		c.stats.Hits++
+		return c.tab[c.lastPos].words[uint(w)&lineMask]
+	}
+	return c.tab[c.fetch(idx)].words[uint(w)&lineMask]
 }
 
 // Store writes v to SWcc word w in this thread's cache only.
@@ -95,9 +241,17 @@ func (c *Cache) Store(w int, v uint64) {
 		c.dev.swccStore(w, v)
 		return
 	}
-	l, i := c.line(w)
-	l.words[i] = v
-	l.dirty |= 1 << uint(i)
+	idx := int32(uint(w) >> lineShift)
+	var s *cacheSlot
+	if idx == c.lastIdx {
+		c.stats.Hits++
+		s = &c.tab[c.lastPos]
+	} else {
+		s = &c.tab[c.fetch(idx)]
+	}
+	i := uint(w) & lineMask
+	s.words[i] = v
+	s.dirty |= 1 << i
 }
 
 // LoadFresh invalidates the line containing w (writing back any dirty
@@ -106,6 +260,10 @@ func (c *Cache) Store(w int, v uint64) {
 // load" pattern for reading another thread's published metadata.
 func (c *Cache) LoadFresh(w int) uint64 {
 	if c.dev.cfg.Coherent {
+		// Count the flush the incoherent path performs even though it is
+		// a no-op here, so Flushes is comparable across modes. (Fetches
+		// and Writebacks still differ: a coherent device has no cache.)
+		c.stats.Flushes++
 		c.stats.Loads++
 		return c.dev.swccLoad(w)
 	}
@@ -121,13 +279,12 @@ func (c *Cache) Flush(w int) {
 	if c.dev.cfg.Coherent {
 		return
 	}
-	idx := w / LineWords
-	l := c.lines[idx]
-	if l == nil {
+	pos, ok := c.find(int32(uint(w) >> lineShift))
+	if !ok {
 		return
 	}
-	c.writeback(idx, l)
-	delete(c.lines, idx)
+	c.writeback(&c.tab[pos])
+	c.evict(pos)
 }
 
 // FlushRange flushes every line intersecting words [w, w+n).
@@ -149,17 +306,17 @@ func (c *Cache) Fence() {
 	c.stats.Fences++
 }
 
-func (c *Cache) writeback(idx int, l *cacheLine) {
-	if l.dirty == 0 {
+func (c *Cache) writeback(s *cacheSlot) {
+	if s.dirty == 0 {
 		return
 	}
-	base := idx * LineWords
+	base := int(s.idx) << lineShift
 	for i := 0; i < LineWords; i++ {
-		if l.dirty&(1<<uint(i)) != 0 {
-			c.dev.swccStore(base+i, l.words[i])
+		if s.dirty&(1<<uint(i)) != 0 {
+			c.dev.swccStore(base+i, s.words[i])
 		}
 	}
-	l.dirty = 0
+	s.dirty = 0
 	c.stats.Writebacks++
 }
 
@@ -167,8 +324,10 @@ func (c *Cache) writeback(idx int, l *cacheLine) {
 // It models a thread crash where the host survives: the core's cache
 // eventually drains to memory even though the thread is gone.
 func (c *Cache) WritebackAll() {
-	for idx, l := range c.lines {
-		c.writeback(idx, l)
+	for i := range c.tab {
+		if c.tab[i].idx != emptyLine {
+			c.writeback(&c.tab[i])
+		}
 	}
 }
 
@@ -177,12 +336,16 @@ func (c *Cache) WritebackAll() {
 // when a recovered thread must start cold so it cannot observe its own
 // pre-crash stale lines.
 func (c *Cache) DiscardAll() {
-	c.lines = make(map[int]*cacheLine)
+	for i := range c.tab {
+		c.tab[i].idx = emptyLine
+	}
+	c.n = 0
+	c.lastIdx = emptyLine
 }
 
 // Resident reports whether the line containing w is cached. Tests use it
 // to assert protocol steps evicted what they must.
 func (c *Cache) Resident(w int) bool {
-	_, ok := c.lines[w/LineWords]
+	_, ok := c.find(int32(uint(w) >> lineShift))
 	return ok
 }

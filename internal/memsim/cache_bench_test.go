@@ -1,0 +1,44 @@
+package memsim
+
+import "testing"
+
+// BenchmarkCacheLoadStore is the interposition cost of the simulator's
+// dominant hot path: line-local loads and stores through the SWcc cache
+// (the descriptor-word access pattern of the allocator). Must run at
+// ~zero allocations per operation — the cache's inline-line table never
+// allocates on a resident access.
+func BenchmarkCacheLoadStore(b *testing.B) {
+	d := NewDevice(Config{SWccWords: 4096})
+	c := d.NewCache()
+	// Warm the working set so growth rehashes happen before timing.
+	for w := 0; w < 4096; w++ {
+		c.Store(w, uint64(w))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		// 8 line-local accesses (MRU fast path), then move one line on.
+		w := (i * LineWords) % 4096
+		for j := 0; j < LineWords; j++ {
+			c.Store(w+j, uint64(i))
+			sink += c.Load(w + j)
+		}
+	}
+	_ = sink
+}
+
+// BenchmarkCacheFlush measures the publish path: dirty a line, flush it,
+// fetch it back — the flush/fence/load cycle of the SWcc protocol.
+func BenchmarkCacheFlush(b *testing.B) {
+	d := NewDevice(Config{SWccWords: 4096})
+	c := d.NewCache()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := (i * LineWords) % 4096
+		c.Store(w, uint64(i))
+		c.Flush(w)
+		c.Fence()
+	}
+}

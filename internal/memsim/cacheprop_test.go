@@ -1,0 +1,271 @@
+package memsim
+
+// Lockstep property test for the open-addressing Cache rewrite: the
+// reference model below is the pre-rewrite map-of-pointers
+// implementation, kept verbatim as executable documentation of the SWcc
+// semantics (unbounded residency, arbitrary staleness, dirty-word-
+// granular writeback). The test drives the real Cache and the model with
+// identical random operation sequences on twin devices and demands
+// bit-identical observable behaviour after every step: returned values,
+// residency, stats counters, and the entire device SWcc image.
+
+import (
+	"fmt"
+	"testing"
+
+	"cxlalloc/internal/xrand"
+)
+
+// refCache is the reference model: the original map-based SWcc cache.
+type refCache struct {
+	dev   *Device
+	lines map[int]*refLine
+	stats CacheStats
+}
+
+type refLine struct {
+	words [LineWords]uint64
+	dirty uint8
+}
+
+func newRefCache(d *Device) *refCache {
+	return &refCache{dev: d, lines: make(map[int]*refLine)}
+}
+
+func (c *refCache) line(w int) (*refLine, int) {
+	idx := w / LineWords
+	l := c.lines[idx]
+	if l == nil {
+		l = &refLine{}
+		base := idx * LineWords
+		for i := 0; i < LineWords; i++ {
+			l.words[i] = c.dev.swccLoad(base + i)
+		}
+		c.lines[idx] = l
+		c.stats.Fetches++
+	} else {
+		c.stats.Hits++
+	}
+	return l, w % LineWords
+}
+
+func (c *refCache) Load(w int) uint64 {
+	c.stats.Loads++
+	if c.dev.cfg.Coherent {
+		return c.dev.swccLoad(w)
+	}
+	l, i := c.line(w)
+	return l.words[i]
+}
+
+func (c *refCache) Store(w int, v uint64) {
+	c.stats.Stores++
+	if c.dev.cfg.Coherent {
+		c.dev.swccStore(w, v)
+		return
+	}
+	l, i := c.line(w)
+	l.words[i] = v
+	l.dirty |= 1 << uint(i)
+}
+
+func (c *refCache) LoadFresh(w int) uint64 {
+	if c.dev.cfg.Coherent {
+		// Mirrors the documented stats change: the no-op flush counts.
+		c.stats.Flushes++
+		c.stats.Loads++
+		return c.dev.swccLoad(w)
+	}
+	c.Flush(w)
+	return c.Load(w)
+}
+
+func (c *refCache) Flush(w int) {
+	c.stats.Flushes++
+	if c.dev.cfg.Coherent {
+		return
+	}
+	idx := w / LineWords
+	l := c.lines[idx]
+	if l == nil {
+		return
+	}
+	c.writeback(idx, l)
+	delete(c.lines, idx)
+}
+
+func (c *refCache) FlushRange(w, n int) {
+	if n <= 0 {
+		return
+	}
+	first := w / LineWords
+	last := (w + n - 1) / LineWords
+	for idx := first; idx <= last; idx++ {
+		c.Flush(idx * LineWords)
+	}
+}
+
+func (c *refCache) Fence() { c.stats.Fences++ }
+
+func (c *refCache) writeback(idx int, l *refLine) {
+	if l.dirty == 0 {
+		return
+	}
+	base := idx * LineWords
+	for i := 0; i < LineWords; i++ {
+		if l.dirty&(1<<uint(i)) != 0 {
+			c.dev.swccStore(base+i, l.words[i])
+		}
+	}
+	l.dirty = 0
+	c.stats.Writebacks++
+}
+
+func (c *refCache) WritebackAll() {
+	for idx, l := range c.lines {
+		c.writeback(idx, l)
+	}
+}
+
+func (c *refCache) DiscardAll() {
+	c.lines = make(map[int]*refLine)
+}
+
+func (c *refCache) Resident(w int) bool {
+	_, ok := c.lines[w/LineWords]
+	return ok
+}
+
+// TestCacheLockstepProperty drives the real Cache and the reference
+// model through identical random operation sequences — two simulated
+// threads per device, so cross-thread staleness and publish/subscribe
+// interleavings are covered — and checks every observable after every
+// operation, in both coherence modes.
+func TestCacheLockstepProperty(t *testing.T) {
+	const (
+		words   = 256 // small region => frequent line reuse and collisions
+		threads = 2
+		ops     = 4000
+		seeds   = 25
+	)
+	for _, coherent := range []bool{false, true} {
+		for seed := uint64(1); seed <= seeds; seed++ {
+			name := fmt.Sprintf("coherent=%v/seed=%d", coherent, seed)
+			cfg := Config{SWccWords: words, Coherent: coherent}
+			gotDev := NewDevice(cfg)
+			refDev := NewDevice(cfg)
+			var got [threads]*Cache
+			var ref [threads]*refCache
+			for i := 0; i < threads; i++ {
+				got[i] = gotDev.NewCache()
+				ref[i] = newRefCache(refDev)
+			}
+			rng := xrand.New(seed)
+			for op := 0; op < ops; op++ {
+				ti := rng.Intn(threads)
+				g, r := got[ti], ref[ti]
+				w := rng.Intn(words)
+				var gv, rv uint64
+				var kind string
+				switch rng.Intn(16) {
+				case 0, 1, 2, 3:
+					kind = "Load"
+					gv, rv = g.Load(w), r.Load(w)
+				case 4, 5, 6, 7:
+					kind = "Store"
+					v := rng.Uint64()
+					g.Store(w, v)
+					r.Store(w, v)
+				case 8, 9:
+					kind = "LoadFresh"
+					gv, rv = g.LoadFresh(w), r.LoadFresh(w)
+				case 10, 11:
+					kind = "Flush"
+					g.Flush(w)
+					r.Flush(w)
+				case 12:
+					kind = "FlushRange"
+					n := rng.Intn(40)
+					if w+n > words {
+						n = words - w
+					}
+					g.FlushRange(w, n)
+					r.FlushRange(w, n)
+				case 13:
+					kind = "WritebackAll"
+					g.WritebackAll()
+					r.WritebackAll()
+				case 14:
+					kind = "DiscardAll"
+					g.DiscardAll()
+					r.DiscardAll()
+				default:
+					kind = "Fence"
+					g.Fence()
+					r.Fence()
+				}
+				if gv != rv {
+					t.Fatalf("%s: op %d (%s tid=%d w=%d): got %d, reference %d",
+						name, op, kind, ti, w, gv, rv)
+				}
+				if g.Resident(w) != r.Resident(w) {
+					t.Fatalf("%s: op %d (%s tid=%d w=%d): residency diverged (got %v)",
+						name, op, kind, ti, w, g.Resident(w))
+				}
+				if gs, rs := g.Stats(), r.stats; gs != rs {
+					t.Fatalf("%s: op %d (%s tid=%d w=%d): stats diverged\n got %+v\n ref %+v",
+						name, op, kind, ti, w, gs, rs)
+				}
+				for i := 0; i < words; i++ {
+					if a, b := gotDev.swccLoad(i), refDev.swccLoad(i); a != b {
+						t.Fatalf("%s: op %d (%s tid=%d w=%d): device word %d diverged: got %d, reference %d",
+							name, op, kind, ti, w, i, a, b)
+					}
+				}
+			}
+			// Terminal check: every line any thread still holds reads the
+			// same through both implementations.
+			for i := 0; i < threads; i++ {
+				for w := 0; w < words; w++ {
+					if got[i].Load(w) != ref[i].Load(w) {
+						t.Fatalf("%s: terminal Load(%d) diverged on thread %d", name, w, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCacheGrowthKeepsLines fills a cache far past its initial table
+// capacity and verifies no line or dirty word is lost across the grow
+// rehashes, then flushes everything and checks the device image.
+func TestCacheGrowthKeepsLines(t *testing.T) {
+	const words = 16384 // 2048 lines >> initialSlots
+	d := NewDevice(Config{SWccWords: words})
+	c := d.NewCache()
+	for w := 0; w < words; w++ {
+		c.Store(w, uint64(w)+1)
+	}
+	for w := 0; w < words; w++ {
+		if got := c.Load(w); got != uint64(w)+1 {
+			t.Fatalf("word %d = %d before flush", w, got)
+		}
+		if !c.Resident(w) {
+			t.Fatalf("word %d not resident", w)
+		}
+	}
+	c.FlushRange(0, words)
+	probe := d.NewCache()
+	for w := 0; w < words; w++ {
+		if c.Resident(w) {
+			t.Fatalf("word %d resident after FlushRange", w)
+		}
+		if got := probe.LoadFresh(w); got != uint64(w)+1 {
+			t.Fatalf("device word %d = %d after flush", w, got)
+		}
+	}
+	s := c.Stats()
+	if s.Fetches != words/LineWords || s.Writebacks != words/LineWords {
+		t.Fatalf("stats = %+v, want %d fetches and writebacks", s, words/LineWords)
+	}
+}

@@ -195,12 +195,40 @@ func (s *Space) Unmap(off, n uint64) {
 	}
 }
 
+// mappedSpan reports whether every page in [first, last] is installed:
+// the shared fast path of Resolve and Touch, with the 1–2 page common
+// case (small accesses) reduced to at most two bitmap probes.
+func (s *Space) mappedSpan(first, last uint64) bool {
+	if last-first <= 1 {
+		return s.Mapped(first) && (last == first || s.Mapped(last))
+	}
+	for p := first; p <= last; p++ {
+		if !s.Mapped(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// fault runs the simulated SIGSEGV protocol over [first, last]: for each
+// unmapped page the handler runs and, if it maps the page, the access
+// continues; otherwise the fault propagates as *SegFault.
+func (s *Space) fault(tid int, first, last uint64) {
+	for p := first; p <= last; p++ {
+		for !s.Mapped(p) {
+			if s.handler == nil || !s.handler(tid, s, p) {
+				panic(&SegFault{Space: s.id, Off: p * s.pageSize})
+			}
+			s.faults.Add(1)
+		}
+	}
+}
+
 // Resolve returns the bytes at [off, off+n) after ensuring every covered
 // page is mapped in this space. An unmapped page raises the simulated
-// SIGSEGV: the handler runs and, if it maps the page, the access
-// continues; otherwise Resolve panics with *SegFault. This is the only
-// way simulated threads touch application data, so PC-T violations
-// surface deterministically instead of as wild reads.
+// SIGSEGV (see fault). This is the only way simulated threads touch
+// application data, so PC-T violations surface deterministically instead
+// of as wild reads.
 func (s *Space) Resolve(tid int, off, n uint64) []byte {
 	if n == 0 {
 		return nil
@@ -211,27 +239,29 @@ func (s *Space) Resolve(tid int, off, n uint64) []byte {
 	s.checkRange(off, n)
 	first := off / s.pageSize
 	last := (off + n - 1) / s.pageSize
-	// Fast path: small accesses span one or two pages, both mapped.
-	if s.Mapped(first) && (last == first || s.Mapped(last)) && last-first <= 1 {
-		return s.dev.Data()[off : off+n : off+n]
-	}
-	for p := first; p <= last; p++ {
-		for !s.Mapped(p) {
-			if s.handler == nil || !s.handler(tid, s, p) {
-				panic(&SegFault{Space: s.id, Off: p * s.pageSize})
-			}
-			s.faults.Add(1)
-		}
+	if !s.mappedSpan(first, last) {
+		s.fault(tid, first, last)
 	}
 	return s.dev.Data()[off : off+n : off+n]
 }
 
-// Touch is Resolve without materializing the byte slice.
+// Touch ensures [off, off+n) is accessible exactly like Resolve but
+// never materializes the byte slice — it exists so bounds-only probes
+// (hazard checks, prefaulting) stay on the bitmap fast path with zero
+// slice-header construction.
 func (s *Space) Touch(tid int, off, n uint64) {
 	if n == 0 {
 		return
 	}
-	s.Resolve(tid, off, n)
+	if s.revoked.Load() {
+		panic(&SegFault{Space: s.id, Off: off})
+	}
+	s.checkRange(off, n)
+	first := off / s.pageSize
+	last := (off + n - 1) / s.pageSize
+	if !s.mappedSpan(first, last) {
+		s.fault(tid, first, last)
+	}
 }
 
 func (s *Space) checkRange(off, n uint64) {

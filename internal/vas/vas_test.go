@@ -202,6 +202,37 @@ func TestTouchFaultsLikeResolve(t *testing.T) {
 	if !installed {
 		t.Fatal("Touch did not drive the fault handler")
 	}
+	// Multi-page spans fault page by page, exactly like Resolve.
+	s.Touch(0, 4090, 3*4096)
+	if !s.MappedRange(4090, 3*4096) {
+		t.Fatal("multi-page Touch left pages unmapped")
+	}
+}
+
+func TestTouchMatchesResolveSemantics(t *testing.T) {
+	// With no handler, Touch of an unmapped page is a fatal fault at the
+	// same offset Resolve reports.
+	_, s := newSpace(3)
+	sf := expectSegfault(t, func() { s.Touch(0, 2*4096+10, 8) })
+	if sf.Space != 3 || sf.Off != 2*4096 {
+		t.Fatalf("Touch fault = %+v", sf)
+	}
+	// Out-of-range and overflowing spans are checked before any mapping
+	// work, as in Resolve.
+	expectSegfault(t, func() { s.Touch(0, 1<<16, 1) })
+	expectSegfault(t, func() { s.Touch(0, ^uint64(0)-1, 10) })
+	// Revoked space: every Touch faults.
+	_, s2 := newSpace(4)
+	s2.Install(0, 4096)
+	s2.Revoke()
+	expectSegfault(t, func() { s2.Touch(0, 0, 8) })
+	// Mapped fast path: no handler needed, no faults counted.
+	_, s3 := newSpace(5)
+	s3.Install(0, 2*4096)
+	s3.Touch(0, 100, 4096) // spans pages 0-1, both mapped
+	if st := s3.Stats(); st.Faults != 0 {
+		t.Fatalf("mapped Touch counted faults: %+v", st)
+	}
 }
 
 // Revoke models process death: the mappings vanish and any access

@@ -10,15 +10,26 @@
 //	cxlbench -exp fig9 -scale small -out results.ndjson
 //	cxlbench -exp hotpath -json BENCH_hotpath.json -label after
 //	cxlbench -exp hotpath -cpuprofile cpu.pprof -memprofile mem.pprof
+//	cxlbench -trace out.json -exp fig9 -scale small
+//	cxlbench -exp obs -scale small -obs-gate BENCH_obs.json
 //
 // Experiments: table1, table2, fig7, fig8, fig9, fig10, fig11, fig12,
 // ablation-recovery, ablation-owner-cache, ablation-hwcc,
-// ablation-disown, chaos, mttr, hotpath, all.
+// ablation-disown, chaos, mttr, hotpath, obs, all.
 //
 // -json appends a labeled run (rows sorted, stable field order) to a
 // BENCH_*.json trajectory file, so per-PR before/after numbers are
 // machine-recorded and diffable in review. -cpuprofile/-memprofile
 // write standard pprof profiles of whatever experiments ran.
+//
+// -trace records every pod event of the run (alloc/free, SWcc flushes,
+// mCAS retries, crashes, recoveries, lease activity) into a Chrome
+// trace_event JSON loadable in chrome://tracing or ui.perfetto.dev.
+// -metrics appends one unified telemetry snapshot per measured cxlalloc
+// cell as NDJSON. -obs-gate fails the run if the obs experiment's
+// disabled-tracing throughput regressed more than -obs-gate-pct against
+// the -obs-gate-label run recorded in the given BENCH_obs.json (only
+// meaningful on the machine that recorded the baseline).
 package main
 
 import (
@@ -32,6 +43,7 @@ import (
 
 	"cxlalloc/internal/bench"
 	"cxlalloc/internal/chaos"
+	"cxlalloc/internal/telemetry"
 )
 
 func main() {
@@ -49,6 +61,11 @@ func main() {
 		ops        = flag.Int("ops", 0, "override total operations per trial")
 		trials     = flag.Int("trials", 0, "override trial count")
 		arena      = flag.Int("arena", 0, "override per-allocator backing memory (bytes)")
+		traceOut   = flag.String("trace", "", "record a Chrome trace_event JSON of the run to this file (open in chrome://tracing or ui.perfetto.dev)")
+		metricsOut = flag.String("metrics", "", "append unified metrics snapshots (NDJSON, one per measured cxlalloc cell) to this file")
+		obsGate    = flag.String("obs-gate", "", "fail if obs disabled-tracing throughput regressed vs the baseline run in this BENCH_obs.json")
+		obsGatePct = flag.Float64("obs-gate-pct", 5, "obs gate tolerance in percent")
+		obsGateRef = flag.String("obs-gate-label", "baseline", "obs gate baseline run label")
 	)
 	flag.Parse()
 
@@ -96,10 +113,29 @@ func main() {
 		wl = strings.Split(*workloads, ",")
 	}
 
+	// -trace installs the global tracer for the whole invocation. Rings
+	// must cover the widest thread sweep (chaos pods use 4 slots).
+	var tracer *telemetry.Tracer
+	if *traceOut != "" {
+		maxT := 4
+		for _, t := range sc.Threads {
+			if t > maxT {
+				maxT = t
+			}
+		}
+		tracer = telemetry.Start(maxT, 1<<16)
+	}
+	var metrics []telemetry.MetricsRecord
+	if *metricsOut != "" {
+		bench.MetricsSink = func(dims map[string]string, s telemetry.Snapshot) {
+			metrics = append(metrics, telemetry.MetricsRecord{Label: *label, Dims: dims, Values: s})
+		}
+	}
+
 	exps := strings.Split(*exp, ",")
 	if *exp == "all" {
 		exps = []string{"table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
-			"ablation-recovery", "ablation-owner-cache", "ablation-hwcc", "ablation-disown", "chaos", "mttr", "hotpath"}
+			"ablation-recovery", "ablation-owner-cache", "ablation-hwcc", "ablation-disown", "chaos", "mttr", "hotpath", "obs"}
 	}
 
 	var all []bench.Row
@@ -128,6 +164,41 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "recorded %d rows as run %q in %s\n", len(all), *label, *jsonOut)
+	}
+	if tracer != nil {
+		telemetry.Stop()
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := telemetry.WriteChromeTrace(f, tracer); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote trace (%d events, %d dropped) to %s\n",
+			tracer.Recorded(), tracer.Dropped(), *traceOut)
+	}
+	if *metricsOut != "" {
+		f, err := os.OpenFile(*metricsOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		if err := telemetry.WriteMetricsNDJSON(f, metrics); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d metrics snapshots to %s\n", len(metrics), *metricsOut)
+	}
+	if *obsGate != "" {
+		if err := bench.CheckObsGate(*obsGate, *obsGateRef, all, *obsGatePct); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "obs gate passed (tolerance %.0f%% vs %q in %s)\n",
+			*obsGatePct, *obsGateRef, *obsGate)
 	}
 	if *memProfile != "" {
 		f, err := os.Create(*memProfile)
@@ -174,6 +245,8 @@ func run(e string, sc bench.Scale, wl []string) ([]bench.Row, error) {
 		return bench.RunMTTR(sc)
 	case "hotpath":
 		return bench.RunHotpath(sc)
+	case "obs":
+		return bench.RunObs(sc)
 	default:
 		return nil, fmt.Errorf("unknown experiment %q", e)
 	}

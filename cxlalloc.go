@@ -54,6 +54,7 @@ import (
 	"cxlalloc/internal/crash"
 	"cxlalloc/internal/liveness"
 	"cxlalloc/internal/memsim"
+	"cxlalloc/internal/telemetry"
 	"cxlalloc/internal/vas"
 )
 
@@ -208,6 +209,31 @@ func (pod *Pod) FalseTakeovers() uint64 {
 		}
 	}
 	return n
+}
+
+// Snapshot assembles the unified telemetry snapshot for the whole pod:
+// the heap's allocator/cache/NMP/chaos counters plus the liveness
+// watchdog tallies aggregated across every process's manager. It is safe
+// to call concurrently with running mutators — every source is an atomic
+// counter, a mutex-guarded structure, or a bounded-lag published mirror
+// (call Heap().PublishStats() after quiescing for exact values).
+func (pod *Pod) Snapshot() telemetry.Snapshot {
+	s := pod.heap.Snapshot()
+	pod.mu.Lock()
+	procs := append([]*Process(nil), pod.procs...)
+	pod.mu.Unlock()
+	for _, p := range procs {
+		if p.mgr == nil {
+			continue
+		}
+		s.Liveness.Repairs += p.mgr.Count(liveness.KindRepair)
+		s.Liveness.Fenced += p.mgr.Count(liveness.KindFenced)
+		s.Liveness.FalseAlarms += p.mgr.Count(liveness.KindFalseAlarm)
+		s.Liveness.Rescues += p.mgr.Count(liveness.KindRescue)
+		s.Liveness.SelfFences += p.mgr.Count(liveness.KindSelfFence)
+		s.Liveness.FalseTakeovers += p.mgr.FalseTakeovers()
+	}
+	return s
 }
 
 func (pod *Pod) emitEvent(e LivenessEvent) {

@@ -25,6 +25,7 @@ import (
 
 	"cxlalloc/internal/memsim"
 	"cxlalloc/internal/nmp"
+	"cxlalloc/internal/telemetry"
 )
 
 // Mode selects the coherence model for HWcc-region words.
@@ -145,6 +146,9 @@ func (h *HW) CAS(tid, w int, old, new uint64) (cur uint64, ok bool) {
 	switch h.mode {
 	case ModeMCAS:
 		for attempt := 0; attempt < mcasAttempts; attempt++ {
+			if telemetry.Enabled() {
+				telemetry.Emit(tid, telemetry.EvMCASAttempt, uint64(w), uint32(attempt))
+			}
 			cur, ok, err := h.unit.TryMCAS(tid, w, old, new)
 			if err == nil {
 				return cur, ok
@@ -152,10 +156,16 @@ func (h *HW) CAS(tid, w int, old, new uint64) (cur uint64, ok bool) {
 			h.mcasFaults.Add(1)
 			if attempt < mcasAttempts-1 {
 				h.mcasRetries.Add(1)
+				if telemetry.Enabled() {
+					telemetry.Emit(tid, telemetry.EvMCASRetry, uint64(w), uint32(attempt+1))
+				}
 				h.lat.Inject(h.latv().MCASService << attempt)
 			}
 		}
 		h.fallbacks.Add(1)
+		if telemetry.Enabled() {
+			telemetry.Emit(tid, telemetry.EvMCASFallback, uint64(w), 0)
+		}
 		h.lat.Inject(h.latv().FlushCost)
 		h.lat.Inject(h.latv().CASRTT)
 		if h.dev.HWccCAS(w, old, new) {

@@ -83,6 +83,16 @@ func runMicro(exp string, fac Factory, shape string, sc Scale, threads, objSize 
 		if res.Errors > 0 {
 			row.Extra = map[string]string{"allocErrors": fmt.Sprint(res.Errors)}
 		}
+		if MetricsSink != nil && inst.Heap != nil {
+			inst.Heap.PublishStats()
+			MetricsSink(map[string]string{
+				"experiment": exp,
+				"workload":   shape,
+				"allocator":  fac.Name,
+				"threads":    fmt.Sprint(threads),
+				"trial":      fmt.Sprint(trial),
+			}, inst.Heap.Snapshot())
+		}
 		releaseMemory()
 	}
 	return summarizeTrials(row, tputs), nil

@@ -1,0 +1,149 @@
+package bench
+
+// The obs experiment measures the telemetry plane's own cost: the fig9
+// small microbenchmarks, cxlalloc only, under every hotpath coherence
+// model — each cell run once with tracing disabled (the production
+// default: one atomic load + branch per instrumented site) and once with
+// a live tracer installed. The disabled-mode throughput is the row's
+// headline number and is what the CI gate compares against the committed
+// baseline in BENCH_obs.json; the enabled-mode throughput, the derived
+// overhead percentage, and the tracer's event/drop counts ride along in
+// Extra.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"cxlalloc/internal/telemetry"
+)
+
+// MetricsSink, when non-nil, receives the unified telemetry snapshot of
+// every cxlalloc instance a microbenchmark cell measures, after the
+// workload joined and the published mirrors were force-refreshed (so the
+// snapshot is exact, not cadence-lagged). cmd/cxlbench installs it for
+// -metrics; dims carry experiment/workload/allocator/threads/trial.
+var MetricsSink func(dims map[string]string, s telemetry.Snapshot)
+
+// obsRing is the per-thread ring capacity for enabled-mode obs runs:
+// small enough to keep the tracer's footprint trivial, large enough that
+// wraparound (counted, not lost) is the only effect of a long run.
+const obsRing = 1 << 14
+
+// RunObs runs the tracing-overhead experiment. It owns the global tracer
+// for the duration: any tracer installed by -trace keeps its recorded
+// events, but records nothing while obs cells run.
+func RunObs(sc Scale) ([]Row, error) {
+	prev := telemetry.Stop()
+	defer func() {
+		if prev != nil {
+			telemetry.Resume(prev)
+		}
+	}()
+	var rows []Row
+	for _, shape := range []string{"threadtest-small", "xmalloc-small"} {
+		for _, m := range HotpathModes {
+			fac := NewCXLFactory(CXLVariant{Name: m.Name, Mode: m.Mode, Procs: sc.Procs}, sc.ArenaBytes)
+			for _, threads := range sc.Threads {
+				off, err := runMicro("obs", fac, shape, sc, threads, 64)
+				if err != nil {
+					return nil, err
+				}
+				if off.Failed != "" {
+					rows = append(rows, off)
+					continue
+				}
+				telemetry.Start(threads, obsRing)
+				on, err := runMicro("obs", fac, shape, sc, threads, 64)
+				tr := telemetry.Stop()
+				if err != nil {
+					return nil, err
+				}
+				row := off
+				if row.Extra == nil {
+					row.Extra = map[string]string{}
+				}
+				row.Extra["tput_enabled"] = fmt.Sprintf("%.0f", on.Throughput)
+				if on.Throughput > 0 {
+					row.Extra["overhead_pct"] = fmt.Sprintf("%.2f", (off.Throughput/on.Throughput-1)*100)
+				}
+				row.Extra["events"] = fmt.Sprint(tr.Recorded())
+				row.Extra["dropped"] = fmt.Sprint(tr.Dropped())
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// CheckObsGate compares the disabled-tracing throughput of rows against
+// the run labeled baselineLabel in the BenchFile at path, failing on any
+// cell more than tolPct percent slower. Cells absent from the baseline
+// (new shapes, new thread counts) pass; a missing baseline run is an
+// error, since a silently vacuous gate is worse than none. Throughputs
+// are only comparable on the machine that recorded the baseline — CI
+// regenerates the baseline in the same job before gating.
+func CheckObsGate(path, baselineLabel string, rows []Row, tolPct float64) error {
+	base, err := loadBenchRun(path, baselineLabel)
+	if err != nil {
+		return err
+	}
+	key := func(r Row) string {
+		return fmt.Sprintf("%s|%s|%d|%d", r.Workload, r.Allocator, r.Threads, r.Procs)
+	}
+	want := make(map[string]float64, len(base.Rows))
+	for _, r := range base.Rows {
+		if r.Experiment == "obs" && r.Throughput > 0 {
+			want[key(r)] = r.Throughput
+		}
+	}
+	var failures []string
+	for _, r := range rows {
+		if r.Experiment != "obs" || r.Throughput == 0 {
+			continue
+		}
+		b, ok := want[key(r)]
+		if !ok {
+			continue
+		}
+		if r.Throughput < b*(1-tolPct/100) {
+			failures = append(failures,
+				fmt.Sprintf("%s/%s t=%d: %.0f ops/s vs baseline %.0f (-%.1f%% > %.0f%%)",
+					r.Workload, r.Allocator, r.Threads, r.Throughput, b,
+					(1-r.Throughput/b)*100, tolPct))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("obs gate: disabled-tracing throughput regressed:\n  %s",
+			joinLines(failures))
+	}
+	return nil
+}
+
+func loadBenchRun(path, label string) (BenchRun, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return BenchRun{}, err
+	}
+	var bf BenchFile
+	if err := json.Unmarshal(raw, &bf); err != nil {
+		return BenchRun{}, fmt.Errorf("bench: %s is not a BenchFile: %w", path, err)
+	}
+	for _, run := range bf.Runs {
+		if run.Label == label {
+			return run, nil
+		}
+	}
+	return BenchRun{}, fmt.Errorf("bench: no run labeled %q in %s", label, path)
+}
+
+func joinLines(ss []string) string {
+	out := ""
+	for i, s := range ss {
+		if i > 0 {
+			out += "\n  "
+		}
+		out += s
+	}
+	return out
+}

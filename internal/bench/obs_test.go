@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cxlalloc/internal/telemetry"
+)
+
+func TestRunObs(t *testing.T) {
+	sc := tinyScale()
+	rows, err := RunObs(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 shapes x 3 modes x 1 thread count.
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	for _, r := range rows {
+		if r.Failed != "" {
+			continue
+		}
+		if r.Throughput <= 0 {
+			t.Fatalf("%s/%s: no disabled-mode throughput", r.Workload, r.Allocator)
+		}
+		for _, k := range []string{"tput_enabled", "overhead_pct", "events", "dropped"} {
+			if r.Extra[k] == "" {
+				t.Fatalf("%s/%s: Extra[%q] missing (extra=%v)", r.Workload, r.Allocator, k, r.Extra)
+			}
+		}
+		if r.Extra["events"] == "0" {
+			t.Fatalf("%s/%s: enabled run recorded no events", r.Workload, r.Allocator)
+		}
+	}
+	// RunObs must leave global tracing off.
+	if telemetry.Enabled() {
+		t.Fatal("RunObs left the global tracer installed")
+	}
+}
+
+func TestCheckObsGate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_obs.json")
+	base := []Row{
+		{Experiment: "obs", Workload: "threadtest-small", Allocator: "cxlalloc-swcc", Threads: 2, Procs: 2, Throughput: 1000},
+		{Experiment: "obs", Workload: "xmalloc-small", Allocator: "cxlalloc-swcc", Threads: 2, Procs: 2, Throughput: 500},
+	}
+	if err := AppendBenchJSON(path, "baseline", base); err != nil {
+		t.Fatal(err)
+	}
+
+	pass := []Row{
+		{Experiment: "obs", Workload: "threadtest-small", Allocator: "cxlalloc-swcc", Threads: 2, Procs: 2, Throughput: 960},
+		// Unknown cells and non-obs rows are ignored.
+		{Experiment: "obs", Workload: "threadtest-small", Allocator: "cxlalloc-dram", Threads: 8, Procs: 2, Throughput: 1},
+		{Experiment: "fig9", Workload: "threadtest-small", Allocator: "cxlalloc-swcc", Threads: 2, Procs: 2, Throughput: 1},
+	}
+	if err := CheckObsGate(path, "baseline", pass, 5); err != nil {
+		t.Fatalf("gate failed on a within-tolerance run: %v", err)
+	}
+
+	fail := []Row{
+		{Experiment: "obs", Workload: "xmalloc-small", Allocator: "cxlalloc-swcc", Threads: 2, Procs: 2, Throughput: 400},
+	}
+	err := CheckObsGate(path, "baseline", fail, 5)
+	if err == nil {
+		t.Fatal("gate passed a 20% regression")
+	}
+	if !strings.Contains(err.Error(), "xmalloc-small") {
+		t.Fatalf("gate error does not name the regressed cell: %v", err)
+	}
+
+	if err := CheckObsGate(path, "no-such-label", pass, 5); err == nil {
+		t.Fatal("gate passed with a missing baseline run")
+	}
+}

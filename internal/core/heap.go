@@ -3,11 +3,13 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"cxlalloc/internal/atomicx"
 	"cxlalloc/internal/interval"
 	"cxlalloc/internal/memsim"
 	"cxlalloc/internal/nmp"
+	"cxlalloc/internal/telemetry"
 	"cxlalloc/internal/vas"
 )
 
@@ -33,6 +35,23 @@ type Heap struct {
 
 	threads []threadState
 
+	// ops is the per-thread allocator op ledger (telemetry.AllocStats
+	// source). It lives at heap level, not in threadState, because a
+	// recovery replaces the threadState value and cumulative counters
+	// must survive the incarnation change.
+	ops []threadOps
+
+	// Crash/recovery lifecycle counters for telemetry.Snapshot. These
+	// transitions are rare, so contended atomic adds are fine.
+	crashesMarked    atomic.Uint64
+	recoveries       atomic.Uint64
+	recoveriesFenced atomic.Uint64
+
+	// Liveness-plane counters (lease renewals ride on every pod
+	// Thread.Run; claims are rare).
+	leaseRenews atomic.Uint64
+	claimsWon   atomic.Uint64
+
 	// recMu serializes slot-state transitions (attach, crash marking,
 	// recovery, lease bookkeeping) per slot, so a fenced recovery loser
 	// and the superseding winner never interleave, and watchdog
@@ -43,6 +62,49 @@ type Heap struct {
 	// and its commit fence check, so a supersede can be interposed
 	// deterministically.
 	testHookPreCommit func(tid int)
+}
+
+// Op-ledger indices (threadOps.counts / threadOps.pub).
+const (
+	ocSmallAlloc = iota
+	ocSmallFree
+	ocLargeAlloc
+	ocLargeFree
+	ocHugeAlloc
+	ocHugeFree
+	ocKinds
+)
+
+// opsPubEvery is how many ops a thread performs between refreshes of
+// its published (atomic) counter mirror — the same staleness-for-speed
+// trade the SWcc cache stats make (memsim.Cache.SharedStats).
+const opsPubEvery = 64
+
+// threadOps is one thread's allocator op ledger: plain counters written
+// only by the owning thread on the hot path, and an atomically published
+// mirror concurrent snapshot readers load. Padded so adjacent threads'
+// mirrors never false-share.
+type threadOps struct {
+	counts [ocKinds]uint64
+	since  uint32
+	pub    [ocKinds]atomic.Uint64
+	_      [24]byte
+}
+
+// bump counts one op and refreshes the mirror on cadence. Owner only.
+func (to *threadOps) bump(op int) {
+	to.counts[op]++
+	if to.since++; to.since >= opsPubEvery {
+		to.publish()
+	}
+}
+
+// publish refreshes the shared mirror. Owner only (or quiesced owner).
+func (to *threadOps) publish() {
+	to.since = 0
+	for i := range to.counts {
+		to.pub[i].Store(to.counts[i])
+	}
 }
 
 // threadState is the volatile (non-device) state of one thread slot.
@@ -87,6 +149,7 @@ func NewHeap(cfg Config, dev *memsim.Device) (*Heap, error) {
 		dev:      dev,
 		coherent: dc.Coherent,
 		threads:  make([]threadState, cfg.NumThreads),
+		ops:      make([]threadOps, cfg.NumThreads),
 		recMu:    make([]sync.Mutex, cfg.NumThreads),
 	}
 	if cfg.Mode == atomicx.ModeMCAS {
@@ -191,6 +254,7 @@ func (h *Heap) AttachThread(tid int, space *vas.Space) error {
 		cache:    h.dev.NewCache(),
 		space:    space,
 	}
+	ts.cache.SetOwner(tid)
 	return nil
 }
 
@@ -223,8 +287,15 @@ func (h *Heap) MarkCrashed(tid int) {
 	if !ts.attached || ts.cache == nil {
 		return
 	}
+	wasAlive := ts.alive
 	ts.alive = false
 	ts.cache.WritebackAll()
+	if wasAlive {
+		h.crashesMarked.Add(1)
+		if telemetry.Enabled() {
+			telemetry.Emit(tid, telemetry.EvCrash, uint64(tid), 0)
+		}
+	}
 }
 
 // ts returns the thread state, panicking on misuse (a dead or detached
@@ -253,31 +324,59 @@ func (h *Heap) Alloc(tid int, size int) (Ptr, error) {
 	ts := h.ts(tid)
 	var p Ptr
 	var err error
+	var oc int
+	var class uint32
 	switch {
 	case size <= smallMax:
-		p, err = h.small.alloc(ts, tid, smallClassOf(size))
+		c := smallClassOf(size)
+		p, err = h.small.alloc(ts, tid, c)
+		oc, class = ocSmallAlloc, uint32(c)
 	case size <= largeMax:
-		p, err = h.large.alloc(ts, tid, largeClassOf(size))
+		c := largeClassOf(size)
+		p, err = h.large.alloc(ts, tid, c)
+		oc, class = ocLargeAlloc, uint32(c)|evClassLarge
 	default:
 		p, err = h.hugeAlloc(ts, tid, uint64(size))
+		oc, class = ocHugeAlloc, evClassHuge
+	}
+	if err == nil {
+		h.ops[tid].bump(oc)
+		if telemetry.Enabled() {
+			telemetry.Emit(tid, telemetry.EvAlloc, uint64(p), class)
+		}
 	}
 	h.maybeCheck(tid)
 	return p, err
 }
 
+// Trace encoding of EvAlloc/EvFree's Arg: the size class, with a flag
+// bit distinguishing the large heap's class space from the small one,
+// and a huge sentinel (huge allocations have byte sizes, not classes).
+const (
+	evClassLarge = 1 << 8
+	evClassHuge  = 1<<9 - 1
+)
+
 // Free releases the allocation at p. Any attached thread in any process
 // may free any pointer (remote frees, §3.2.1).
 func (h *Heap) Free(tid int, p Ptr) {
 	ts := h.ts(tid)
+	var oc int
+	var class uint32
 	switch {
 	case p >= h.lay.SmallDataOff && p < h.lay.LargeDataOff:
-		h.small.free(ts, tid, p)
+		oc, class = ocSmallFree, uint32(h.small.free(ts, tid, p))
 	case p >= h.lay.LargeDataOff && p < h.lay.HugeDataOff:
-		h.large.free(ts, tid, p)
+		oc, class = ocLargeFree, uint32(h.large.free(ts, tid, p))|evClassLarge
 	case p >= h.lay.HugeDataOff && p < h.lay.DataBytes:
 		h.hugeFreePtr(ts, tid, p)
+		oc, class = ocHugeFree, evClassHuge
 	default:
 		panic(fmt.Sprintf("core: Free(%#x): pointer outside heap", p))
+	}
+	h.ops[tid].bump(oc)
+	if telemetry.Enabled() {
+		telemetry.Emit(tid, telemetry.EvFree, uint64(p), class)
 	}
 	h.maybeCheck(tid)
 }

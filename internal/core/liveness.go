@@ -34,6 +34,7 @@ import (
 	"errors"
 
 	"cxlalloc/internal/atomicx"
+	"cxlalloc/internal/telemetry"
 )
 
 // ErrFenced is returned by RecoverThreadFenced when the caller's claim
@@ -143,6 +144,10 @@ func (h *Heap) LeaseRenew(slot int, epoch uint16, deadline uint64) bool {
 			return false
 		}
 		if _, ok := h.hw.CAS(slot, w, old, packLease(epoch, deadline)); ok {
+			h.leaseRenews.Add(1)
+			if telemetry.Enabled() {
+				telemetry.Emit(slot, telemetry.EvLeaseRenew, uint64(deadline), uint32(epoch))
+			}
 			return true
 		}
 		// CAS contention on a lease word can only be an epoch change (the
@@ -211,6 +216,10 @@ func (h *Heap) ClaimAcquire(claimant, victim int, now uint64) (ClaimToken, bool)
 		return ClaimToken{}, false
 	}
 	h.crashPoint(claimant, "liveness.claim.post-cas")
+	h.claimsWon.Add(1)
+	if telemetry.Enabled() {
+		telemetry.Emit(claimant, telemetry.EvClaim, uint64(victim), uint32(gen))
+	}
 	return ClaimToken{Claimant: claimant, Gen: gen, ver: ver}, true
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"cxlalloc/internal/atomicx"
 	"cxlalloc/internal/interval"
+	"cxlalloc/internal/telemetry"
 	"cxlalloc/internal/vas"
 )
 
@@ -99,7 +100,21 @@ func (h *Heap) recoverThread(tid int, space *vas.Space, tok ClaimToken) (Recover
 	if old.alive {
 		return RecoveryReport{}, fmt.Errorf("core: thread %d is alive: %w", tid, ErrNotCrashed)
 	}
+	// Trace the repair as a span on the recoverer's track (the claimant
+	// for fenced recovery, the victim's own slot for direct Recover
+	// calls); Event.A carries the victim.
+	rtid := tid
+	if !tok.zero() {
+		rtid = tok.Claimant
+	}
+	if telemetry.Enabled() {
+		telemetry.Emit(rtid, telemetry.EvRecoveryEnter, uint64(tid), 0)
+	}
 	if !tok.zero() && !h.ClaimHeldBy(tid, tok) {
+		h.recoveriesFenced.Add(1)
+		if telemetry.Enabled() {
+			telemetry.Emit(rtid, telemetry.EvRecoveryExit, uint64(tid), telemetry.RecoveryFenced)
+		}
 		return RecoveryReport{}, ErrFenced
 	}
 	// Start cold: a fresh cache so recovery cannot observe the crashed
@@ -114,6 +129,7 @@ func (h *Heap) recoverThread(tid int, space *vas.Space, tok ClaimToken) (Recover
 		cache:    h.dev.NewCache(),
 		space:    space,
 	}
+	ts.cache.SetOwner(tid)
 	rec := h.readOplog(tid, ts)
 	op, a, b, ver := unpackOp(rec)
 	if opCASBearing(op) {
@@ -143,6 +159,10 @@ func (h *Heap) recoverThread(tid int, space *vas.Space, tok ClaimToken) (Recover
 	// recMu.
 	if !tok.zero() && !h.ClaimHeldBy(tid, tok) {
 		ts.cache.WritebackAll()
+		h.recoveriesFenced.Add(1)
+		if telemetry.Enabled() {
+			telemetry.Emit(rtid, telemetry.EvRecoveryExit, uint64(tid), telemetry.RecoveryFenced)
+		}
 		return report, ErrFenced
 	}
 
@@ -153,6 +173,10 @@ func (h *Heap) recoverThread(tid int, space *vas.Space, tok ClaimToken) (Recover
 	ts.cache.Flush(h.lay.oplogW(tid))
 	ts.cache.Fence()
 	ts.alive = true
+	h.recoveries.Add(1)
+	if telemetry.Enabled() {
+		telemetry.Emit(rtid, telemetry.EvRecoveryExit, uint64(tid), telemetry.RecoveryOK)
+	}
 	return report, nil
 }
 

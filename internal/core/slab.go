@@ -442,7 +442,11 @@ func (s *slabHeap) length(tid int) uint32 {
 
 // --- deallocation (§3.1.1) ---
 
-func (s *slabHeap) free(ts *threadState, tid int, p Ptr) {
+// free releases p and reports the slab's size class as read from the
+// descriptor word it already loads — exact on the local path, best
+// effort (possibly stale) on the remote path. Callers use it only for
+// trace labeling, never for correctness.
+func (s *slabHeap) free(ts *threadState, tid int, p Ptr) int {
 	idx := s.slabOf(p)
 	var w0 uint64
 	if s.h.cfg.AlwaysFreshOwner {
@@ -458,6 +462,7 @@ func (s *slabHeap) free(ts *threadState, tid int, p Ptr) {
 	} else {
 		s.remoteFree(ts, tid, idx)
 	}
+	return w0Class(w0)
 }
 
 func (s *slabHeap) localFree(ts *threadState, tid, idx int, p Ptr, w0 uint64) {

@@ -1,6 +1,9 @@
 package core
 
-import "cxlalloc/internal/atomicx"
+import (
+	"cxlalloc/internal/atomicx"
+	"cxlalloc/internal/telemetry"
+)
 
 // Footprint is the memory-accounting view the evaluation reports:
 // total consumption (the PSS analogue) split by region, with HWcc bytes
@@ -70,9 +73,21 @@ func (h *Heap) HeapLengths(tid int) (small, large uint32) {
 	return h.small.length(tid), h.large.length(tid)
 }
 
-// CacheStatsFor returns thread tid's SWcc cache counters.
+// CacheStatsFor returns thread tid's exact SWcc cache counters. The
+// thread must be quiesced (it reads the owner-side counters); for a
+// view that is safe against running mutators use Snapshot, which reads
+// the published mirrors instead. Dead or detached slots return zeros.
 func (h *Heap) CacheStatsFor(tid int) (loads, hits, flushes, fences uint64) {
-	st := h.ts(tid).cache.Stats()
+	if tid < 0 || tid >= len(h.threads) {
+		return 0, 0, 0, 0
+	}
+	h.recMu[tid].Lock()
+	c := h.threads[tid].cache
+	h.recMu[tid].Unlock()
+	if c == nil {
+		return 0, 0, 0, 0
+	}
+	st := c.Stats()
 	return st.Loads, st.Hits, st.Flushes, st.Fences
 }
 
@@ -102,6 +117,83 @@ type Stats struct {
 	MCASRetries uint64
 	// NMPFaultsInjected is the device-side count of injected faults.
 	NMPFaultsInjected uint64
+}
+
+// PublishStats force-refreshes every thread slot's published counter
+// mirrors (SWcc cache stats and the allocator op ledger) from the
+// owner-side counters. Every mutator thread must be quiesced — the
+// harness calls it after a workload joins, so the following Snapshot is
+// exact rather than mirror-lagged.
+func (h *Heap) PublishStats() {
+	for tid := range h.threads {
+		h.recMu[tid].Lock()
+		c := h.threads[tid].cache
+		h.recMu[tid].Unlock()
+		if c != nil {
+			c.Stats() // Stats republishes the shared mirror
+		}
+		h.ops[tid].publish()
+	}
+}
+
+// Snapshot assembles the allocator's portion of the unified telemetry
+// snapshot. Unlike the exact per-thread accessors it is safe to call
+// concurrently with running mutators: every field comes from an atomic
+// counter, a mutex-guarded structure, or a published mirror that lags
+// its owner by a bounded number of operations. cxlalloc.(*Pod).Snapshot
+// overlays the liveness watchdog's counters on top.
+func (h *Heap) Snapshot() telemetry.Snapshot {
+	var s telemetry.Snapshot
+	for tid := range h.threads {
+		h.recMu[tid].Lock()
+		c := h.threads[tid].cache
+		h.recMu[tid].Unlock()
+		if c != nil {
+			cs := c.SharedStats()
+			s.Cache.Loads += cs.Loads
+			s.Cache.Hits += cs.Hits
+			s.Cache.Stores += cs.Stores
+			s.Cache.Fetches += cs.Fetches
+			s.Cache.Writebacks += cs.Writebacks
+			s.Cache.Flushes += cs.Flushes
+			s.Cache.Fences += cs.Fences
+		}
+		to := &h.ops[tid]
+		s.Alloc.SmallAllocs += to.pub[ocSmallAlloc].Load()
+		s.Alloc.SmallFrees += to.pub[ocSmallFree].Load()
+		s.Alloc.LargeAllocs += to.pub[ocLargeAlloc].Load()
+		s.Alloc.LargeFrees += to.pub[ocLargeFree].Load()
+		s.Alloc.HugeAllocs += to.pub[ocHugeAlloc].Load()
+		s.Alloc.HugeFrees += to.pub[ocHugeFree].Load()
+	}
+	hs := h.hw.Stats()
+	s.HW = telemetry.HWStats{
+		MCASFaults:     hs.MCASFaults,
+		MCASRetries:    hs.MCASRetries,
+		HWCASFallbacks: hs.Fallbacks,
+	}
+	if h.unit != nil {
+		ns := h.unit.Stats()
+		s.NMP = telemetry.NMPStats{
+			SpWrs:          ns.SpWrs,
+			SpRds:          ns.SpRds,
+			Successes:      ns.Successes,
+			Failures:       ns.Failures,
+			Conflicts:      ns.Conflicts,
+			FaultsInjected: ns.FaultsInjected,
+		}
+	}
+	if h.cfg.Crash != nil {
+		s.Chaos.CrashPointsInstrumented = uint64(len(h.cfg.Crash.PointNames()))
+		s.Chaos.CrashPointsFired = h.cfg.Crash.FiredTotal()
+	}
+	s.Chaos.CrashesMarked = h.crashesMarked.Load()
+	s.Chaos.Recoveries = h.recoveries.Load()
+	s.Chaos.RecoveriesFenced = h.recoveriesFenced.Load()
+	s.Liveness.Renews = h.leaseRenews.Load()
+	s.Liveness.Claims = h.claimsWon.Load()
+	s.FillTrace()
+	return s
 }
 
 // Stats returns the heap's robustness counters. Sweep coverage fields

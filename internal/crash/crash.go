@@ -19,6 +19,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"cxlalloc/internal/telemetry"
 	"cxlalloc/internal/xrand"
 )
 
@@ -57,6 +58,10 @@ type Injector struct {
 	covering bool              // EnableCoverage called
 	hits     map[string]uint64 // visits per point (coverage)
 	fired    map[string]uint64
+
+	// firedTotal duplicates the sum of fired so concurrent snapshot
+	// readers get the count without taking mu.
+	firedTotal atomic.Uint64
 }
 
 // NewInjector returns an injector with nothing armed.
@@ -155,8 +160,12 @@ func (in *Injector) pointSlow(tid int, point string) {
 			if remaining == 0 {
 				delete(m, tid)
 				in.fired[point]++
+				in.firedTotal.Add(1)
 				in.refreshState()
 				in.mu.Unlock()
+				if telemetry.Enabled() {
+					telemetry.Emit(tid, telemetry.EvCrashPoint, 0, telemetry.PointID(point))
+				}
 				panic(&Crashed{TID: tid, Point: point})
 			}
 			m[tid] = remaining - 1
@@ -164,10 +173,24 @@ func (in *Injector) pointSlow(tid int, point string) {
 	}
 	if in.prob > 0 && (in.probTID == nil || in.probTID[tid]) && in.rng.Float64() < in.prob {
 		in.fired[point]++
+		in.firedTotal.Add(1)
 		in.mu.Unlock()
+		if telemetry.Enabled() {
+			telemetry.Emit(tid, telemetry.EvCrashPoint, 0, telemetry.PointID(point))
+		}
 		panic(&Crashed{TID: tid, Point: point})
 	}
 	in.mu.Unlock()
+}
+
+// FiredTotal returns the total number of crashes produced across all
+// points. Unlike Fired it is safe to call concurrently with firing
+// points (no mutex), which metrics snapshots need.
+func (in *Injector) FiredTotal() uint64 {
+	if in == nil {
+		return 0
+	}
+	return in.firedTotal.Load()
 }
 
 // Points returns every point visited so far, sorted, with visit counts.

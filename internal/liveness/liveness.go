@@ -26,6 +26,7 @@ import (
 
 	"cxlalloc/internal/core"
 	"cxlalloc/internal/crash"
+	"cxlalloc/internal/telemetry"
 	"cxlalloc/internal/vas"
 )
 
@@ -175,6 +176,10 @@ type Manager struct {
 
 	falseTakeovers atomic.Uint64
 	repairs        atomic.Uint64
+
+	// counts tallies emitted events per Kind; snapshot readers load them
+	// concurrently with a running pod.
+	counts [KindSelfFence + 1]atomic.Uint64
 }
 
 // paddedTick is one thread's renewal deadline on its own cache line, so
@@ -205,6 +210,15 @@ func (m *Manager) FalseTakeovers() uint64 { return m.falseTakeovers.Load() }
 
 // Repairs returns how many repairs this manager committed.
 func (m *Manager) Repairs() uint64 { return m.repairs.Load() }
+
+// Count returns how many events of kind k this manager has emitted.
+// Safe to call concurrently with a running pod.
+func (m *Manager) Count(k Kind) uint64 {
+	if k < 0 || int(k) >= len(m.counts) {
+		return 0
+	}
+	return m.counts[k].Load()
+}
 
 // Heartbeat is one liveness step for thread tid, piggybacked on every
 // Thread.Run: tick the pod clock, renew tid's lease when due, and sweep
@@ -361,7 +375,27 @@ func (m *Manager) pollSlot(tid, v int, now uint64) {
 	}
 }
 
+// kindEvents maps watchdog kinds onto trace event kinds. KindClaim is
+// absent on purpose: core.ClaimAcquire already emits EvClaim for every
+// winning claim (including those from Process.Restart), so mapping it
+// here would double-count.
+var kindEvents = [KindSelfFence + 1]telemetry.Kind{
+	KindClaim:       telemetry.EvNone,
+	KindRepair:      telemetry.EvRepair,
+	KindRepairCrash: telemetry.EvRepairCrash,
+	KindFenced:      telemetry.EvFenced,
+	KindFalseAlarm:  telemetry.EvFalseAlarm,
+	KindRescue:      telemetry.EvRescue,
+	KindSelfFence:   telemetry.EvSelfFence,
+}
+
 func (m *Manager) emit(e Event) {
+	if e.Kind >= 0 && int(e.Kind) < len(m.counts) {
+		m.counts[e.Kind].Add(1)
+		if ek := kindEvents[e.Kind]; ek != telemetry.EvNone && telemetry.Enabled() {
+			telemetry.Emit(e.Claimant, ek, uint64(e.Victim), uint32(e.Gen))
+		}
+	}
 	if m.hooks.Emit != nil {
 		m.hooks.Emit(e)
 	}

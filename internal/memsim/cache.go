@@ -1,5 +1,11 @@
 package memsim
 
+import (
+	"sync/atomic"
+
+	"cxlalloc/internal/telemetry"
+)
+
 // LineWords is the number of 64-bit words per cache line (64 bytes, the
 // x86 line size the paper's flush/fence reasoning assumes).
 const LineWords = 8
@@ -50,6 +56,20 @@ type Cache struct {
 	dev   *Device
 	stats CacheStats
 
+	// owner is the simulated thread this core-private cache belongs to
+	// (telemetry.SystemTID until SetOwner); it tags trace events.
+	owner int
+
+	// pub is the atomically-published mirror of stats, refreshed by the
+	// owner every pubEvery fences (and at explicit sync points), so
+	// other goroutines can read a recent view via SharedStats while the
+	// owner keeps mutating the plain counters lock-free. Staleness is
+	// bounded by pubEvery fences — a handful of allocator ops — which is
+	// what a live metrics snapshot needs; exact reads still exist via
+	// Stats for quiesced callers.
+	pub      [7]atomic.Uint64
+	sincePub uint32
+
 	tab    []cacheSlot
 	mask   uint32 // len(tab)-1; len(tab) is a power of two
 	n      uint32 // occupied slots
@@ -89,9 +109,47 @@ const initialSlots = 64
 
 // NewCache returns an empty cache over the device's SWcc region.
 func (d *Device) NewCache() *Cache {
-	c := &Cache{dev: d, lastIdx: emptyLine}
+	c := &Cache{dev: d, owner: telemetry.SystemTID, lastIdx: emptyLine}
 	c.setTable(make([]cacheSlot, initialSlots))
 	return c
+}
+
+// SetOwner records the simulated thread that owns this cache; trace
+// events emitted by the cache carry this tid.
+func (c *Cache) SetOwner(tid int) { c.owner = tid }
+
+// pubEvery is the publish cadence in fences. Every allocator op fences
+// at least once (the oplog commit), so the shared mirror lags the plain
+// counters by at most a few dozen ops — and the publish cost (seven
+// atomic stores) amortizes to well under a cycle per cache access.
+const pubEvery = 64
+
+// publish refreshes the shared mirror from the plain counters. Only the
+// owning thread may call it.
+func (c *Cache) publish() {
+	c.sincePub = 0
+	c.pub[0].Store(c.stats.Loads)
+	c.pub[1].Store(c.stats.Hits)
+	c.pub[2].Store(c.stats.Stores)
+	c.pub[3].Store(c.stats.Fetches)
+	c.pub[4].Store(c.stats.Writebacks)
+	c.pub[5].Store(c.stats.Flushes)
+	c.pub[6].Store(c.stats.Fences)
+}
+
+// SharedStats returns the last published counters. Unlike Stats it is
+// safe to call from any goroutine while the owner is running; the view
+// lags the owner by at most pubEvery fences.
+func (c *Cache) SharedStats() CacheStats {
+	return CacheStats{
+		Loads:      c.pub[0].Load(),
+		Hits:       c.pub[1].Load(),
+		Stores:     c.pub[2].Load(),
+		Fetches:    c.pub[3].Load(),
+		Writebacks: c.pub[4].Load(),
+		Flushes:    c.pub[5].Load(),
+		Fences:     c.pub[6].Load(),
+	}
 }
 
 // setTable installs tab (len a power of two) as the — empty — line
@@ -217,8 +275,15 @@ func (c *Cache) evict(pos uint32) {
 	}
 }
 
-// Stats returns a copy of the event counters.
-func (c *Cache) Stats() CacheStats { return c.stats }
+// Stats returns a copy of the event counters. It is exact but may only
+// be called by the owning thread, or with the owner quiesced; use
+// SharedStats for concurrent readers. Calling it also republishes the
+// shared mirror, so a quiesce-then-Stats sequence leaves SharedStats
+// exact too.
+func (c *Cache) Stats() CacheStats {
+	c.publish()
+	return c.stats
+}
 
 // Load returns SWcc word w, possibly from a stale cached line.
 func (c *Cache) Load(w int) uint64 {
@@ -276,6 +341,9 @@ func (c *Cache) LoadFresh(w int) uint64 {
 // uncached address).
 func (c *Cache) Flush(w int) {
 	c.stats.Flushes++
+	if telemetry.Enabled() {
+		telemetry.Emit(c.owner, telemetry.EvFlush, uint64(w), 0)
+	}
 	if c.dev.cfg.Coherent {
 		return
 	}
@@ -304,6 +372,12 @@ func (c *Cache) FlushRange(w, n int) {
 // so Fence only records that the protocol required a fence here.
 func (c *Cache) Fence() {
 	c.stats.Fences++
+	if telemetry.Enabled() {
+		telemetry.Emit(c.owner, telemetry.EvFence, 0, 0)
+	}
+	if c.sincePub++; c.sincePub >= pubEvery {
+		c.publish()
+	}
 }
 
 func (c *Cache) writeback(s *cacheSlot) {
@@ -329,6 +403,7 @@ func (c *Cache) WritebackAll() {
 			c.writeback(&c.tab[i])
 		}
 	}
+	c.publish()
 }
 
 // DiscardAll drops every line, losing dirty data. It models the harsher

@@ -30,6 +30,7 @@ import (
 	"sync"
 
 	"cxlalloc/internal/memsim"
+	"cxlalloc/internal/telemetry"
 	"cxlalloc/internal/xrand"
 )
 
@@ -209,6 +210,13 @@ func (u *Unit) MCAS(tid int, addr int, expect, swap uint64) (old uint64, ok bool
 // path (atomicx degrades to sw_flush_cas).
 func (u *Unit) TryMCAS(tid int, addr int, expect, swap uint64) (old uint64, ok bool, err error) {
 	if err := u.maybeFault(); err != nil {
+		if telemetry.Enabled() {
+			kind := uint32(FaultUnavailable)
+			if err == ErrTimeout {
+				kind = uint32(FaultTimeout)
+			}
+			telemetry.Emit(tid, telemetry.EvNMPFault, uint64(addr), kind)
+		}
 		return 0, false, err
 	}
 	u.SpWr(tid, addr, expect, swap)

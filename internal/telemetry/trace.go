@@ -1,0 +1,153 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace_event JSON export (the "JSON Array Format" in the
+// chrome://tracing / Perfetto docs). Every event becomes an instant
+// event ("ph":"i") on its thread's track; recovery enter/exit become a
+// duration pair ("B"/"E") so repairs render as spans; a derived
+// crash→repair complete event ("X") per recovery makes MTTR visible at
+// a glance. Timestamps are microseconds (float), the format's unit.
+
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent     `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
+}
+
+func usec(ns int64) float64 { return float64(ns) / 1e3 }
+
+// chromeName renders the track-visible name of an event.
+func chromeName(e Event) string {
+	switch e.Kind {
+	case EvCrashPoint:
+		return "crash.point:" + PointName(e.Arg)
+	case EvAlloc, EvFree:
+		return fmt.Sprintf("%s:c%d", e.Kind, e.Arg)
+	default:
+		return e.Kind.String()
+	}
+}
+
+func chromeCat(k Kind) string {
+	switch k {
+	case EvAlloc, EvFree:
+		return "alloc"
+	case EvFlush, EvFence:
+		return "swcc"
+	case EvMCASAttempt, EvMCASRetry, EvMCASFallback, EvNMPFault:
+		return "nmp"
+	case EvCrashPoint, EvCrash, EvRecoveryEnter, EvRecoveryExit:
+		return "recovery"
+	default:
+		return "liveness"
+	}
+}
+
+// WriteChromeTrace drains t (which must be quiesced — call after the
+// workload joins) into Chrome trace_event JSON on w. Open the file at
+// chrome://tracing or https://ui.perfetto.dev.
+func WriteChromeTrace(w io.Writer, t *Tracer) error {
+	if t == nil {
+		return fmt.Errorf("telemetry: no tracer to export")
+	}
+	events := t.Events()
+	out := chromeTrace{
+		DisplayTimeUnit: "ns",
+		OtherData: map[string]string{
+			"source":  "cxlalloc telemetry",
+			"dropped": fmt.Sprintf("%d", t.Dropped()),
+		},
+		TraceEvents: make([]chromeEvent, 0, len(events)+8),
+	}
+	for _, e := range events {
+		ce := chromeEvent{
+			Name: chromeName(e),
+			Cat:  chromeCat(e.Kind),
+			TS:   usec(e.TS),
+			PID:  0,
+			TID:  int(e.TID),
+			Args: map[string]any{"a": e.A, "arg": e.Arg},
+		}
+		switch e.Kind {
+		case EvRecoveryEnter:
+			ce.Ph = "B"
+			ce.Name = "recovery"
+		case EvRecoveryExit:
+			ce.Ph = "E"
+			ce.Name = "recovery"
+			if e.Arg == RecoveryFenced {
+				ce.Args["outcome"] = "fenced"
+			} else {
+				ce.Args["outcome"] = "ok"
+			}
+		default:
+			ce.Ph = "i"
+			ce.Scope = "t"
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	for _, sp := range CrashRepairSpans(events) {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "crash→repair",
+			Cat:  "mttr",
+			Ph:   "X",
+			TS:   usec(sp.Start),
+			Dur:  usec(sp.End - sp.Start),
+			PID:  0,
+			TID:  int(sp.TID),
+			Args: map[string]any{"outcome": sp.Outcome},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&out)
+}
+
+// Span is one derived crash→repair interval on a thread's timeline.
+type Span struct {
+	TID     int16
+	Start   int64 // ns, the EvCrash timestamp
+	End     int64 // ns, the matching EvRecoveryExit/EvRepair timestamp
+	Outcome string
+}
+
+// CrashRepairSpans derives per-thread crash→repair spans from a
+// timestamp-ordered event list (as returned by Tracer.Events): a span
+// opens at EvCrash of tid and closes at the next successful recovery
+// of that tid (EvRecoveryExit with RecoveryOK, identified by Event.A =
+// victim tid, or a watchdog EvRepair naming the victim in A).
+func CrashRepairSpans(events []Event) []Span {
+	open := make(map[int16]int64)
+	var spans []Span
+	for _, e := range events {
+		switch e.Kind {
+		case EvCrash:
+			if _, ok := open[e.TID]; !ok {
+				open[e.TID] = e.TS
+			}
+		case EvRecoveryExit:
+			victim := int16(e.A)
+			if start, ok := open[victim]; ok && e.Arg == RecoveryOK {
+				spans = append(spans, Span{TID: victim, Start: start, End: e.TS, Outcome: "repaired"})
+				delete(open, victim)
+			}
+		}
+	}
+	return spans
+}

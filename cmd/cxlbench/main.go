@@ -15,7 +15,17 @@
 //
 // Experiments: table1, table2, fig7, fig8, fig9, fig10, fig11, fig12,
 // ablation-recovery, ablation-owner-cache, ablation-hwcc,
-// ablation-disown, chaos, mttr, hotpath, obs, all.
+// ablation-disown, chaos, persist, mttr, hotpath, obs, all.
+//
+// -exp persist runs the adversarial persistence sweep: every crash
+// point crossed with enumerated/sampled persist subsets of the
+// crash-time write window. A single failing cell replays with
+//
+//	cxlbench -exp persist -seed S -persist-point P -persist-mask 0xM
+//
+// (the exact line every violation report prints). -persist-mutate runs
+// the sweep against the deliberately broken SkipOplogFlush allocator,
+// which must fail — the mutation meta-test.
 //
 // -json appends a labeled run (rows sorted, stable field order) to a
 // BENCH_*.json trajectory file, so per-PR before/after numbers are
@@ -61,6 +71,12 @@ func main() {
 		ops        = flag.Int("ops", 0, "override total operations per trial")
 		trials     = flag.Int("trials", 0, "override trial count")
 		arena      = flag.Int("arena", 0, "override per-allocator backing memory (bytes)")
+		seed       = flag.Uint64("seed", 0, "override workload RNG seed (chaos, persist; recorded in report rows)")
+		perPoint   = flag.String("persist-point", "", "persist: restrict the sweep to one crash point (required for -persist-mask)")
+		perMask    = flag.String("persist-mask", "", "persist: replay a single cell with this hex persist mask (e.g. 0x7ff) instead of sweeping")
+		perCap     = flag.Int("persist-cap", 0, "persist: exhaustive subset enumeration cap (windows wider than this are sampled)")
+		perSamples = flag.Int("persist-samples", 0, "persist: sampled cells per capped window")
+		perMutate  = flag.Bool("persist-mutate", false, "persist: run against the SkipOplogFlush mutant (sweep must fail; meta-test)")
 		traceOut   = flag.String("trace", "", "record a Chrome trace_event JSON of the run to this file (open in chrome://tracing or ui.perfetto.dev)")
 		metricsOut = flag.String("metrics", "", "append unified metrics snapshots (NDJSON, one per measured cxlalloc cell) to this file")
 		obsGate    = flag.String("obs-gate", "", "fail if obs disabled-tracing throughput regressed vs the baseline run in this BENCH_obs.json")
@@ -107,6 +123,16 @@ func main() {
 	if *arena > 0 {
 		sc.ArenaBytes = *arena
 	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+	persistFlags = persistOpts{
+		point:   *perPoint,
+		mask:    *perMask,
+		cap:     *perCap,
+		samples: *perSamples,
+		mutate:  *perMutate,
+	}
 
 	var wl []string
 	if *workloads != "" {
@@ -135,7 +161,7 @@ func main() {
 	exps := strings.Split(*exp, ",")
 	if *exp == "all" {
 		exps = []string{"table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
-			"ablation-recovery", "ablation-owner-cache", "ablation-hwcc", "ablation-disown", "chaos", "mttr", "hotpath", "obs"}
+			"ablation-recovery", "ablation-owner-cache", "ablation-hwcc", "ablation-disown", "chaos", "persist", "mttr", "hotpath", "obs"}
 	}
 
 	var all []bench.Row
@@ -241,6 +267,8 @@ func run(e string, sc bench.Scale, wl []string) ([]bench.Row, error) {
 		return bench.RunAblationDisown(sc, 0)
 	case "chaos":
 		return runChaos(sc)
+	case "persist":
+		return runPersist(sc)
 	case "mttr":
 		return bench.RunMTTR(sc)
 	case "hotpath":
@@ -307,6 +335,7 @@ func runChaos(sc bench.Scale) ([]bench.Row, error) {
 			Extra: map[string]string{
 				"points": fmt.Sprint(len(rep.Points)),
 				"fired":  fmt.Sprint(fired),
+				"seed":   fmt.Sprint(cfg.Seed),
 			},
 		})
 	}
@@ -321,10 +350,119 @@ func runChaos(sc bench.Scale) ([]bench.Row, error) {
 			"retries":   fmt.Sprint(rep.NMP.Retries),
 			"fallbacks": fmt.Sprint(rep.NMP.Fallbacks),
 			"completed": fmt.Sprint(rep.NMP.Completed),
+			"seed":      fmt.Sprint(cfg.Seed),
 		},
 	})
 	if !rep.Ok() {
 		return rows, fmt.Errorf("chaos gate failed: %s", rep.Summary())
+	}
+	return rows, nil
+}
+
+// persistOpts carries the -persist-* flags into runPersist.
+type persistOpts struct {
+	point   string
+	mask    string
+	cap     int
+	samples int
+	mutate  bool
+}
+
+var persistFlags persistOpts
+
+// runPersist runs the adversarial persistence gate: the crash-point ×
+// persist-subset sweep under the SWcc crash-eviction model. With
+// -persist-point and -persist-mask it instead replays exactly one
+// cell — the form every violation's repro line takes — and fails with
+// a non-zero exit if that cell still violates an invariant. A failed
+// sweep is a hard error unless -persist-mutate is set, in which case
+// the sweep runs against the SkipOplogFlush mutant and must fail (and
+// the failure must minimize to a deterministic counterexample).
+func runPersist(sc bench.Scale) ([]bench.Row, error) {
+	// Deliberately NOT scaled by -scale/-ops: a violation's repro line
+	// records only seed+point+mask, so the workload behind a cell must
+	// be a pure function of the seed. Sweep cost is tuned with
+	// -persist-cap / -persist-samples instead.
+	cfg := chaos.DefaultPersistConfig()
+	cfg.Seed = sc.Seed
+	if persistFlags.cap > 0 {
+		cfg.SubsetCap = persistFlags.cap
+	}
+	if persistFlags.samples > 0 {
+		cfg.Samples = persistFlags.samples
+	}
+	cfg.SkipOplogFlush = persistFlags.mutate
+	if persistFlags.point != "" {
+		cfg.Points = []string{persistFlags.point}
+	}
+
+	if persistFlags.mask != "" {
+		if persistFlags.point == "" {
+			return nil, fmt.Errorf("-persist-mask requires -persist-point")
+		}
+		mask, err := strconv.ParseUint(persistFlags.mask, 0, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -persist-mask %q: %v", persistFlags.mask, err)
+		}
+		win, rerr := chaos.ReplayPersistCell(cfg, persistFlags.point, mask)
+		if rerr != nil {
+			return nil, fmt.Errorf("persist cell %s mask=%#x (window %d lines): %v",
+				persistFlags.point, mask, win, rerr)
+		}
+		fmt.Printf("persist cell ok: point=%s mask=%#x window=%d lines seed=%d mutate=%v\n",
+			persistFlags.point, mask, win, cfg.Seed, cfg.SkipOplogFlush)
+		return []bench.Row{{
+			Experiment: "persist",
+			Workload:   "replay/" + persistFlags.point,
+			Allocator:  "cxlalloc",
+			Threads:    cfg.Threads,
+			Procs:      cfg.Procs,
+			Extra: map[string]string{
+				"mask":   fmt.Sprintf("%#x", mask),
+				"window": fmt.Sprint(win),
+				"seed":   fmt.Sprint(cfg.Seed),
+				"mutate": fmt.Sprint(cfg.SkipOplogFlush),
+			},
+		}}, nil
+	}
+
+	rep, err := chaos.PersistSweep(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Print(chaos.FormatPersistReport(rep))
+	rows := []bench.Row{{
+		Experiment: "persist",
+		Workload:   "sweep",
+		Allocator:  "cxlalloc",
+		Threads:    cfg.Threads,
+		Procs:      cfg.Procs,
+		Ops:        cfg.Ops,
+		Extra: map[string]string{
+			"points":     fmt.Sprint(len(rep.Points)),
+			"cells":      fmt.Sprint(rep.CellsRun),
+			"dropped":    fmt.Sprint(rep.LinesDropped),
+			"capped":     fmt.Sprint(rep.Capped),
+			"violations": fmt.Sprint(len(rep.Violations)),
+			"seed":       fmt.Sprint(cfg.Seed),
+			"mutate":     fmt.Sprint(cfg.SkipOplogFlush),
+		},
+	}}
+	if cfg.SkipOplogFlush {
+		// Mutation meta-test: the broken allocator MUST be caught,
+		// and the catch must carry a minimized, replayable repro.
+		if len(rep.Violations) == 0 {
+			return rows, fmt.Errorf("persist mutation gate failed: SkipOplogFlush sweep found no violation")
+		}
+		v := rep.Violations[0]
+		if len(v.MinDrop) == 0 || v.Repro == "" {
+			return rows, fmt.Errorf("persist mutation gate failed: violation not minimized (%+v)", v)
+		}
+		fmt.Printf("mutation caught: %s\n", v.Repro)
+		return rows, nil
+	}
+	if !rep.Ok() {
+		return rows, fmt.Errorf("persist gate failed: %s", rep.Summary())
 	}
 	return rows, nil
 }

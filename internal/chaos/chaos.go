@@ -108,6 +108,7 @@ type NMPResult struct {
 // Report is a sweep's full outcome.
 type Report struct {
 	Auto       bool       // sweep ran on a self-healing pod (no recovery calls)
+	Seed       uint64     // workload seed: rerun with this to replay verbatim
 	Points     []string   // every crash point discovered by profiling
 	Runs       []PointRun // one per point × mode
 	Unswept    []string   // "point/mode" combos whose crash never fired
@@ -134,8 +135,8 @@ func (r *Report) Summary() string {
 	if r.Auto {
 		kind = "chaos[auto]"
 	}
-	return fmt.Sprintf("%s %s: %d points x %d runs, %d unswept, %d violations, nmp fallbacks=%d",
-		kind, status, len(r.Points), len(r.Runs), len(r.Unswept), len(r.Violations), r.NMP.Fallbacks)
+	return fmt.Sprintf("%s %s: %d points x %d runs, %d unswept, %d violations, nmp fallbacks=%d, seed=%d",
+		kind, status, len(r.Points), len(r.Runs), len(r.Unswept), len(r.Violations), r.NMP.Fallbacks, r.Seed)
 }
 
 // Sweep runs the full chaos gate: profile, sweep every discovered point
@@ -145,7 +146,7 @@ func Sweep(cfg Config) (*Report, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	rep := &Report{Auto: cfg.AutoRecover}
+	rep := &Report{Auto: cfg.AutoRecover, Seed: cfg.Seed}
 
 	points, err := discover(cfg)
 	if err != nil {
@@ -308,7 +309,21 @@ type harness struct {
 	live    []cxlalloc.Ptr
 }
 
+// harnessOpts are persist-harness extras over the plain chaos harness.
+type harnessOpts struct {
+	// trackPersist enables per-line durability tracking so MarkCrashed
+	// can resolve crashes with CrashDiscard (persist.go).
+	trackPersist bool
+	// skipOplogFlush removes the redo log's durability flush — the
+	// deliberate protocol mutation the persist sweep must catch.
+	skipOplogFlush bool
+}
+
 func newHarness(cfg Config, inj *crash.Injector, mode atomicx.Mode) (*harness, error) {
+	return newHarnessOpts(cfg, inj, mode, harnessOpts{})
+}
+
+func newHarnessOpts(cfg Config, inj *crash.Injector, mode atomicx.Mode, opts harnessOpts) (*harness, error) {
 	pc := cxlalloc.DefaultConfig()
 	pc.NumThreads = cfg.Threads
 	pc.MaxSmallSlabs = 64
@@ -320,6 +335,8 @@ func newHarness(cfg Config, inj *crash.Injector, mode atomicx.Mode) (*harness, e
 	pc.UnsizedThreshold = 2
 	pc.Mode = mode
 	pc.Crash = inj
+	pc.TrackPersist = opts.trackPersist
+	pc.SkipOplogFlush = opts.skipOplogFlush
 	h := &harness{
 		cfg:     cfg,
 		inj:     inj,
@@ -584,19 +601,26 @@ func (h *harness) drain(onCrash crashHandler) error {
 			}
 		}
 	}
-	for tid := 0; tid < h.cfg.Threads; tid++ {
-		th := h.th(tid)
-		if th == nil {
-			continue
-		}
-		if c := th.Run(th.Maintain); c != nil {
-			if err := h.dispatch(c, onCrash); err != nil {
-				return err
+	// Two rounds reach the reclamation fixpoint: round one's hazard
+	// sweeps retire every hazard over freed allocations, which unblocks
+	// round two's descriptor reclaims in the owners — a single round
+	// leaves a descriptor in use whenever the owner's Maintain ran
+	// before the hazard holder's.
+	for round := 0; round < 2; round++ {
+		for tid := 0; tid < h.cfg.Threads; tid++ {
+			th := h.th(tid)
+			if th == nil {
+				continue
 			}
-			// Re-run the interrupted maintenance after recovery.
-			th = h.th(tid)
-			if c2 := th.Run(th.Maintain); c2 != nil {
-				return fmt.Errorf("maintenance crashed twice: %v", c2)
+			if c := th.Run(th.Maintain); c != nil {
+				if err := h.dispatch(c, onCrash); err != nil {
+					return err
+				}
+				// Re-run the interrupted maintenance after recovery.
+				th = h.th(tid)
+				if c2 := th.Run(th.Maintain); c2 != nil {
+					return fmt.Errorf("maintenance crashed twice: %v", c2)
+				}
 			}
 		}
 	}

@@ -1,0 +1,138 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"cxlalloc/internal/atomicx"
+	"cxlalloc/internal/crash"
+)
+
+// TestPersistSweepPasses is the adversarial persistence gate: every
+// instrumented crash point, crossed with every enumerated (or sampled)
+// persist subset of the crash-time write window, must recover to a heap
+// that passes both the shape invariants and the drain-time ledger audit.
+func TestPersistSweepPasses(t *testing.T) {
+	cfg := DefaultPersistConfig()
+	cfg.SubsetCap = 5 // 2^5-1 cells per wider window; keeps the gate fast
+	cfg.Samples = 6
+	rep, err := PersistSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(rep.Summary())
+	if !rep.Ok() {
+		for _, v := range rep.Violations {
+			t.Errorf("violation at %s mask=%#x: %s\n  minimized mask=%#x dropped=%v: %s\n  repro: %s",
+				v.Point, v.Mask, v.Err, v.MinMask, v.MinDrop, v.MinErr, v.Repro)
+		}
+		for _, u := range rep.Unfired {
+			t.Errorf("crash point never fired: %s", u)
+		}
+		for _, e := range rep.Errors {
+			t.Errorf("sweep error: %s", e)
+		}
+	}
+	if rep.CellsRun == 0 || rep.LinesDropped == 0 {
+		t.Fatalf("sweep ran no adversarial cells (cells=%d, dropped=%d) — the adversary is not wired",
+			rep.CellsRun, rep.LinesDropped)
+	}
+}
+
+// TestPersistSweepCatchesMissingOplogFlush is the mutation meta-test:
+// removing the recovery record's durability flush (the allocator's only
+// hot-path flush) must be detected by the sweep, and the failing cell
+// must delta-debug to a minimal, deterministically replayable
+// counterexample. If this test fails, the adversary has lost its teeth.
+func TestPersistSweepCatchesMissingOplogFlush(t *testing.T) {
+	cfg := DefaultPersistConfig()
+	cfg.SkipOplogFlush = true
+	cfg.Points = []string{"small.alloc.post-take"}
+	rep, err := PersistSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(rep.Summary())
+	if len(rep.Violations) == 0 {
+		t.Fatal("sweep did not catch the missing oplog flush: a lost recovery record went unnoticed")
+	}
+	v := rep.Violations[0]
+	if v.Repro == "" || !strings.Contains(v.Repro, "-persist-mutate") {
+		t.Fatalf("violation carries no mutated repro line: %+v", v)
+	}
+	if len(v.MinDrop) == 0 {
+		t.Fatalf("violation was not minimized: %+v", v)
+	}
+	// The minimized counterexample must replay deterministically.
+	win, rerr := ReplayPersistCell(cfg, v.Point, v.MinMask)
+	if rerr == nil {
+		t.Fatalf("minimized cell (point=%s mask=%#x) replayed clean — repro is not deterministic", v.Point, v.MinMask)
+	}
+	if rerr.Error() != v.MinErr {
+		t.Fatalf("replay failure diverged: got %q, sweep recorded %q", rerr, v.MinErr)
+	}
+	t.Logf("minimized: window=%d drop=%v err=%q", win, v.MinDrop, v.MinErr)
+}
+
+// legacySWccPoint runs the canonical chaos script under ModeHWcc with
+// the legacy writeback-all crash path (no persist adversary) and a
+// single armed crash point. The persist sweep grew out of exactly this
+// configuration: it exposed two pre-existing SWcc protocol bugs that
+// ModeDRAM sweeps (coherent caches, no staleness) could never see.
+func legacySWccPoint(cfg Config, point string) (run PointRun) {
+	run = PointRun{Point: point, Mode: ModeThreadCrash, CrashTID: -1}
+	defer func() {
+		if r := recover(); r != nil {
+			run.Err = fmt.Sprintf("panic: %v", r)
+		}
+	}()
+	inj := crash.NewInjector()
+	h, err := newHarness(cfg, inj, atomicx.ModeHWcc)
+	if err != nil {
+		run.Err = err.Error()
+		return run
+	}
+	for tid := 0; tid < cfg.Threads; tid++ {
+		inj.Arm(point, tid, 0)
+	}
+	err = h.runScript(func(c *crash.Crashed) error {
+		if c.Point != point {
+			return fmt.Errorf("crashed at %q while sweeping %q", c.Point, point)
+		}
+		run.Fired = true
+		run.CrashTID = c.TID
+		return h.handleCrash(c, ModeThreadCrash)
+	})
+	if err != nil {
+		run.Err = err.Error()
+	}
+	return run
+}
+
+// TestSWccCrashRegressions pins the two SWcc-mode crash-recovery bugs
+// the persist sweep surfaced (both fired even under writeback-all):
+//
+//   - large.pop-global.post-cas: recovery's rebuild scan left a crashed
+//     thread's descriptor lines resident, so after a thief stole and
+//     reinitialized a detached slab, the old owner's stale owner==me
+//     copy misrouted a free of the new incarnation down the local path
+//     ("local free into unsized slab" / "pointer handed out twice").
+//   - large.push-global.post-cas: same mechanism, surfacing as a
+//     double handout after the fabricated empty transition.
+func TestSWccCrashRegressions(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, point := range []string{
+		"large.pop-global.post-cas",
+		"large.push-global.post-cas",
+		"large.pop-global.post-push",
+	} {
+		run := legacySWccPoint(cfg, point)
+		if !run.Fired {
+			t.Errorf("%s: crash point never fired", point)
+		}
+		if run.Err != "" {
+			t.Errorf("%s: %s", point, run.Err)
+		}
+	}
+}

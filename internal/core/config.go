@@ -92,6 +92,20 @@ type Config struct {
 
 	// Crash is the failure-injection hook; nil disables injection.
 	Crash *crash.Injector
+
+	// TrackPersist enables per-line durability tracking in every thread
+	// cache (memsim.Config.TrackPersist), the substrate the adversarial
+	// persistence harness needs to resolve crashes with CrashDiscard
+	// instead of WritebackAll. Off by default: it taxes the Store hot
+	// path. No effect in coherent modes (stores are durable at once).
+	TrackPersist bool
+
+	// SkipOplogFlush removes the flush+fence that makes the redo log
+	// entry durable before an operation's first shared-state write. This
+	// deliberately breaks the §3.4 recovery protocol; it exists ONLY so
+	// the persist sweep's mutation meta-test can prove it detects a
+	// missing protocol flush. Never set outside that test.
+	SkipOplogFlush bool
 }
 
 // DefaultConfig returns a configuration sized for tests and examples:

@@ -47,6 +47,14 @@ type Heap struct {
 	recoveries       atomic.Uint64
 	recoveriesFenced atomic.Uint64
 
+	// Adversarial persistence (SetCrashPersistPolicy): when set,
+	// MarkCrashed resolves the crashed cache via CrashDiscard under the
+	// policy this callback returns, instead of the optimistic
+	// WritebackAll. crashDiscards / linesDropped count the outcomes.
+	persistPolicy func(tid int, inPlay []int32) memsim.CrashPolicy
+	crashDiscards atomic.Uint64
+	linesDropped  atomic.Uint64
+
 	// Liveness-plane counters (lease renewals ride on every pod
 	// Thread.Run; claims are rare).
 	leaseRenews atomic.Uint64
@@ -203,10 +211,11 @@ func DeviceFor(cfg Config) (memsim.Config, error) {
 	}
 	lay := computeLayout(&cfg)
 	return memsim.Config{
-		HWccWords: lay.HWccWords,
-		SWccWords: lay.SWccWords,
-		DataBytes: int(lay.DataBytes),
-		Coherent:  cfg.Mode == atomicx.ModeDRAM,
+		HWccWords:    lay.HWccWords,
+		SWccWords:    lay.SWccWords,
+		DataBytes:    int(lay.DataBytes),
+		Coherent:     cfg.Mode == atomicx.ModeDRAM,
+		TrackPersist: cfg.TrackPersist,
 	}, nil
 }
 
@@ -289,13 +298,49 @@ func (h *Heap) MarkCrashed(tid int) {
 	}
 	wasAlive := ts.alive
 	ts.alive = false
-	ts.cache.WritebackAll()
+	if h.persistPolicy != nil {
+		out := ts.cache.CrashDiscard(h.persistPolicy(tid, ts.cache.InPlay()))
+		h.crashDiscards.Add(1)
+		h.linesDropped.Add(uint64(out.Dropped))
+		if telemetry.Enabled() {
+			telemetry.Emit(tid, telemetry.EvCrashDiscard,
+				uint64(out.Dropped), uint32(len(out.InPlay)))
+		}
+	} else {
+		ts.cache.WritebackAll()
+	}
 	if wasAlive {
 		h.crashesMarked.Add(1)
 		if telemetry.Enabled() {
 			telemetry.Emit(tid, telemetry.EvCrash, uint64(tid), 0)
 		}
 	}
+}
+
+// DrainCaches writes back every attached thread's cache, modeling the
+// cache drain of a fully quiesced pod (the paper's host-survives model:
+// all dirt reaches the device eventually). Audits that read shared SWcc
+// state through the device image — AuditEmpty — need this first, because
+// the hot path deliberately leaves local-op effects unflushed. Requires
+// quiescence (it touches owner-private caches).
+func (h *Heap) DrainCaches() {
+	for tid := range h.threads {
+		h.recMu[tid].Lock()
+		ts := &h.threads[tid]
+		if ts.attached && ts.cache != nil {
+			ts.cache.WritebackAll()
+		}
+		h.recMu[tid].Unlock()
+	}
+}
+
+// SetCrashPersistPolicy installs (or, with nil, removes) the adversarial
+// persistence decider: on every MarkCrashed, the crashed thread's cache
+// is resolved by CrashDiscard under the policy fn returns for that
+// thread's in-play line set, instead of the optimistic WritebackAll.
+// The heap must be quiesced (no concurrent crashes) when switching.
+func (h *Heap) SetCrashPersistPolicy(fn func(tid int, inPlay []int32) memsim.CrashPolicy) {
+	h.persistPolicy = fn
 }
 
 // ts returns the thread state, panicking on misuse (a dead or detached

@@ -197,5 +197,64 @@ func (h *Heap) checkHugeLocal(ts *threadState, tid int) error {
 	return bad
 }
 
+// AuditEmpty verifies ledger consistency after a workload has freed
+// every allocation it made (the persist harness drains before calling
+// this): no slab may still hold an allocated block, and no huge
+// descriptor may be in use. A crash that silently loses a free — or
+// replays an alloc without handing the block to anyone — shows up here
+// as a leaked block, which heap-shape invariants (CheckAll) cannot see.
+// Requires quiescence; tid is the auditing thread.
+func (h *Heap) AuditEmpty(tid int) error {
+	ts := h.ts(tid)
+	if err := h.small.auditEmpty(ts, tid); err != nil {
+		return err
+	}
+	if err := h.large.auditEmpty(ts, tid); err != nil {
+		return err
+	}
+	for t := 0; t < h.cfg.NumThreads; t++ {
+		for slot := 0; slot < h.cfg.DescsPerThread; slot++ {
+			id := t*h.cfg.DescsPerThread + slot
+			if h.hugeLoad(ts, h.descW(id, hdNext))&hdInUseBit != 0 {
+				return fmt.Errorf("huge: descriptor %d of thread %d still in use after drain", id, t)
+			}
+		}
+	}
+	return nil
+}
+
+func (s *slabHeap) auditEmpty(ts *threadState, tid int) error {
+	n := int(s.length(tid))
+	for idx := 0; idx < n; idx++ {
+		// The auditor is usually not the slab's owner: invalidate any
+		// stale cached descriptor lines before reading.
+		s.flushDesc(ts, idx)
+		w0 := s.loadW0(ts, idx)
+		class := w0Class(w0)
+		if class == 0 {
+			continue // unsized: no blocks to leak
+		}
+		// Ledger equation. The bitset counts blocks never allocated or
+		// locally freed; the HWcc countdown starts at total and loses one
+		// per remote free, whose bit stays cleared until the final freer
+		// steals the slab. With every allocation freed, each cleared bit
+		// must therefore be matched by a remote free:
+		//
+		//	popcount(bitset) == countdown payload
+		//
+		// A leaked block (taken, never freed) clears a bit without
+		// decrementing the countdown; a resurrected block sets a bit that
+		// was already counted. Both break the equality.
+		total := s.blocksPer(class)
+		pc := s.popcount(ts, idx, total)
+		remote := s.remoteCount(tid, idx)
+		if pc != remote {
+			return fmt.Errorf("%s: slab %d (class %d) ledger broken after drain: bitset has %d of %d free, countdown expects %d",
+				s.name, idx, class, pc, total, remote)
+		}
+	}
+	return nil
+}
+
 // payloadOf aliases atomicx.Payload without importing it in every file.
 func payloadOf(w uint64) uint32 { return uint32(w) }

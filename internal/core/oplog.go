@@ -25,8 +25,8 @@ const (
 	opPopGlobal  // a = slab index being popped; ver on the free-list head
 	opPushGlobal // a = slab index being pushed; ver on the free-list head
 	opInit       // a = slab index, b = class (unsized -> sized transfer)
-	opDetach     // a = slab index (full, keep ownership, unlink)
-	opDisown     // a = slab index (full, clear ownership, unlink)
+	opDetach     // a = slab index, b = class, ver = pending block+1
+	opDisown     // a = slab index, b = class, ver = pending block+1
 	opAllocBlock // a = slab index, b = block (application handoff record)
 	opLocalFree  // a = slab index, b = block
 	opEmpty      // a = slab index (sized -> unsized transfer)
@@ -99,7 +99,7 @@ func (h *Heap) writeOplog(tid int, ts *threadState, op int, a uint32, b uint16, 
 	}
 	w := h.lay.oplogW(tid)
 	ts.cache.Store(w, packOp(op, a, b, ver))
-	if !h.coherent {
+	if !h.coherent && !h.cfg.SkipOplogFlush {
 		ts.cache.Flush(w)
 		ts.cache.Fence()
 	}

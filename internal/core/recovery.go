@@ -235,11 +235,29 @@ func (h *Heap) redo(ts *threadState, tid, op int, a uint32, b uint16, ver uint16
 		h.dcas.Store(tid, s.hwBase+idx, uint32(total))
 
 	case opDetach, opDisown:
-		// Nothing to do: the descriptor scan classifies a full slab as
-		// detached (unlinked) whether or not the transition finished,
-		// and a crash before the disown's ownership clear safely
-		// degrades to a detach (§3.2.1's semantics are preserved; the
-		// slab is still reclaimed by the owner's future local frees).
+		// List membership and ownership are repaired by the scan: it
+		// classifies a full slab as detached (unlinked) whether or not
+		// the transition finished, and a crash before the disown's
+		// ownership clear safely degrades to a detach (§3.2.1's
+		// semantics are preserved; the slab is still reclaimed by the
+		// owner's future local frees). But the transition ran nested
+		// inside alloc and its record overwrote the opAllocBlock
+		// handoff record — ver carries the pending block as block+1.
+		// If its bit is durably cleared, the block was taken but the
+		// pointer never reached the application: report it for
+		// adoption, exactly as the opAllocBlock redo would have. (The
+		// slab cannot have been stolen meanwhile — stealing needs a
+		// zero countdown, which needs every block remotely freed,
+		// including this one that no application thread holds.) If the
+		// bit instead reverted to free, the take never became durable
+		// and the rebuild scan rolls the allocation back.
+		if ver != 0 {
+			idx, block, class := int(a), int(ver-1), int(b)
+			if !s.blockBit(ts, idx, block) {
+				report.PendingAlloc = s.ptrOf(idx, block, class)
+				report.PendingSize = s.classes[class]
+			}
+		}
 
 	case opAllocBlock:
 		idx, block := int(a), int(b)
@@ -447,6 +465,13 @@ func (s *slabHeap) rebuildLocal(ts *threadState, tid int) {
 	for idx := 0; idx < length; idx++ {
 		w0 := s.loadW0(ts, idx)
 		if w0Owner(w0) != me {
+			// Not ours. Evict the line the classification just fetched:
+			// keeping it resident would pin a copy that goes stale when
+			// the slab changes hands, and §3.2.2's stale-read analysis
+			// only tolerates stale *remote* routing — a pinned copy from
+			// a past incarnation with owner==me would misroute a future
+			// free of the new incarnation down the local path.
+			s.flushDesc(ts, idx)
 			continue
 		}
 		class := w0Class(w0)
@@ -458,7 +483,12 @@ func (s *slabHeap) rebuildLocal(ts *threadState, tid int) {
 		fc := s.popcount(ts, idx, total)
 		s.setFreeCount(ts, idx, fc)
 		if fc == 0 {
-			continue // detached
+			// Detached: stays unlinked. Re-establish detach's eviction
+			// discipline — publish the recomputed count and drop our
+			// copy, so a thief's durable owner-clear is re-fetched by
+			// our next read instead of shadowed by this resident line.
+			s.flushDesc(ts, idx)
+			continue
 		}
 		s.tlPush(ts, s.localW(tid, class), idx)
 	}

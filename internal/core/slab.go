@@ -266,14 +266,14 @@ func (s *slabHeap) alloc(ts *threadState, tid, class int) (Ptr, error) {
 		// taking the block but before the caller stores the pointer,
 		// recovery reports it as a pending allocation instead of
 		// leaking it.
-		s.h.writeOplog(tid, ts, s.opc(opAllocBlock), uint32(idx), uint16(block), 0)
+	s.h.writeOplog(tid, ts, s.opc(opAllocBlock), uint32(idx), uint16(block), 0)
 		s.cp(tid, "alloc.post-oplog")
 		s.setBlockBit(ts, idx, block, false)
 		fc := s.getFreeCount(ts, idx) - 1
 		s.setFreeCount(ts, idx, fc)
 		s.cp(tid, "alloc.post-take")
 		if fc == 0 {
-			s.fullTransition(ts, tid, idx, class, total)
+			s.fullTransition(ts, tid, idx, class, total, block)
 		}
 		s.h.clearOplog(tid, ts)
 		return s.ptrOf(idx, block, class), nil
@@ -284,10 +284,16 @@ func (s *slabHeap) alloc(ts *threadState, tid, class int) (Ptr, error) {
 // detaching (no remote frees yet: keep ownership) or disowning (remote
 // frees seen: give up ownership so the slab can be wholly reclaimed once
 // every block is remotely freed) — §3.2.1 and Figure 4.
-func (s *slabHeap) fullTransition(ts *threadState, tid, idx, class, total int) {
+// The transition runs nested inside alloc, before the taken block's
+// pointer reaches the application, and its record overwrites the
+// opAllocBlock handoff record. To keep the handoff recoverable the
+// transition record carries the pending block in its (otherwise unused)
+// ver field as block+1 — redo reports it for adoption just as the
+// opAllocBlock redo would have.
+func (s *slabHeap) fullTransition(ts *threadState, tid, idx, class, total, block int) {
 	remote := atomicx.Payload(s.h.dcas.Load(tid, s.hwBase+idx))
 	if remote == uint32(total) || s.h.cfg.NoDisown {
-		s.h.writeOplog(tid, ts, s.opc(opDetach), uint32(idx), uint16(class), 0)
+		s.h.writeOplog(tid, ts, s.opc(opDetach), uint32(idx), uint16(class), uint16(block+1))
 		s.cp(tid, "detach.post-oplog")
 		// Unlink first, flush last. The unlink walk reads this slab's
 		// next pointer, so flushing before it would leave the line
@@ -302,7 +308,7 @@ func (s *slabHeap) fullTransition(ts *threadState, tid, idx, class, total int) {
 		s.flushDesc(ts, idx)
 		s.cp(tid, "detach.post-flush")
 	} else {
-		s.h.writeOplog(tid, ts, s.opc(opDisown), uint32(idx), uint16(class), 0)
+		s.h.writeOplog(tid, ts, s.opc(opDisown), uint32(idx), uint16(class), uint16(block+1))
 		s.cp(tid, "disown.post-oplog")
 		s.setOwnerClass(ts, idx, 0, uint8(class))
 		s.flushDesc(ts, idx)

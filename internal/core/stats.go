@@ -108,6 +108,17 @@ type Stats struct {
 	// exercised under every sweep mode.
 	CrashPointsSwept int
 
+	// PersistSubsetsSwept is how many persist-subset cells (crash point ×
+	// persist mask) an adversarial persistence sweep ran. Harness overlay,
+	// like CrashPointsSwept.
+	PersistSubsetsSwept int
+	// CrashDiscards counts crashes resolved by CrashDiscard (under an
+	// installed persist policy) rather than the optimistic WritebackAll.
+	CrashDiscards uint64
+	// LinesDroppedAtCrash is the total in-play cache lines the adversary
+	// dropped (reverted to their durable floor) across those crashes.
+	LinesDroppedAtCrash uint64
+
 	// HWCASFallbacks counts CASes completed via the sw_flush_cas fallback
 	// after the NMP unit faulted (graceful degradation).
 	HWCASFallbacks uint64
@@ -190,6 +201,8 @@ func (h *Heap) Snapshot() telemetry.Snapshot {
 	s.Chaos.CrashesMarked = h.crashesMarked.Load()
 	s.Chaos.Recoveries = h.recoveries.Load()
 	s.Chaos.RecoveriesFenced = h.recoveriesFenced.Load()
+	s.Chaos.CrashDiscards = h.crashDiscards.Load()
+	s.Chaos.LinesDroppedAtCrash = h.linesDropped.Load()
 	s.Liveness.Renews = h.leaseRenews.Load()
 	s.Liveness.Claims = h.claimsWon.Load()
 	s.FillTrace()
@@ -201,9 +214,11 @@ func (h *Heap) Snapshot() telemetry.Snapshot {
 func (h *Heap) Stats() Stats {
 	hs := h.hw.Stats()
 	st := Stats{
-		HWCASFallbacks: hs.Fallbacks,
-		MCASFaults:     hs.MCASFaults,
-		MCASRetries:    hs.MCASRetries,
+		HWCASFallbacks:      hs.Fallbacks,
+		MCASFaults:          hs.MCASFaults,
+		MCASRetries:         hs.MCASRetries,
+		CrashDiscards:       h.crashDiscards.Load(),
+		LinesDroppedAtCrash: h.linesDropped.Load(),
 	}
 	if h.cfg.Crash != nil {
 		st.CrashPointsInstrumented = len(h.cfg.Crash.PointNames())

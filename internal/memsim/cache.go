@@ -80,6 +80,14 @@ type Cache struct {
 	// Invalidated whenever a slot moves (eviction, rehash).
 	lastIdx int32
 	lastPos uint32
+
+	// Per-line durability tracking (persist.go), enabled by the device's
+	// TrackPersist config. recent maps every line touched since the last
+	// completed Fence to its durable floor — the device image the line
+	// reverts to if a crash drops it. Off the adversarial-persistence
+	// harness this stays nil and the hot path pays one branch.
+	track  bool
+	recent map[int32]*revEntry
 }
 
 // cacheSlot is one inline cache line. idx is the line index within the
@@ -110,6 +118,10 @@ const initialSlots = 64
 // NewCache returns an empty cache over the device's SWcc region.
 func (d *Device) NewCache() *Cache {
 	c := &Cache{dev: d, owner: telemetry.SystemTID, lastIdx: emptyLine}
+	if d.cfg.TrackPersist && !d.cfg.Coherent {
+		c.track = true
+		c.recent = make(map[int32]*revEntry)
+	}
 	c.setTable(make([]cacheSlot, initialSlots))
 	return c
 }
@@ -315,6 +327,9 @@ func (c *Cache) Store(w int, v uint64) {
 		s = &c.tab[c.fetch(idx)]
 	}
 	i := uint(w) & lineMask
+	if c.track {
+		c.capture(s, i)
+	}
 	s.words[i] = v
 	s.dirty |= 1 << i
 }
@@ -375,6 +390,13 @@ func (c *Cache) Fence() {
 	if telemetry.Enabled() {
 		telemetry.Emit(c.owner, telemetry.EvFence, 0, 0)
 	}
+	if c.track && len(c.recent) > 0 {
+		// A completed fence is the durability commit point: every flush
+		// issued before it has reached the device, and every line dirtied
+		// before it is assumed drained by the time a later crash is
+		// resolved (the drain-horizon model, persist.go).
+		clear(c.recent)
+	}
 	if c.sincePub++; c.sincePub >= pubEvery {
 		c.publish()
 	}
@@ -403,6 +425,9 @@ func (c *Cache) WritebackAll() {
 			c.writeback(&c.tab[i])
 		}
 	}
+	if c.track {
+		clear(c.recent) // everything drained => everything committed
+	}
 	c.publish()
 }
 
@@ -416,6 +441,14 @@ func (c *Cache) DiscardAll() {
 	}
 	c.n = 0
 	c.lastIdx = emptyLine
+	if c.track {
+		clear(c.recent)
+	}
+	// Republish the stats mirror like WritebackAll does: DiscardAll runs
+	// at crash/recovery boundaries, exactly when a concurrent Snapshot
+	// may read the mirrors, and skipping the refresh here left them
+	// stale-by-a-window at the one moment freshness matters.
+	c.publish()
 }
 
 // Resident reports whether the line containing w is cached. Tests use it

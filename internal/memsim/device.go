@@ -43,6 +43,17 @@ type Config struct {
 	// (or a single host using local DRAM), the paper's "cxlalloc remains
 	// correct if there is full HWcc" case.
 	Coherent bool
+
+	// TrackPersist enables per-line durability tracking in every Cache
+	// created on this device: each cache records, per line touched since
+	// its last completed Fence, the device image that line would have if
+	// the crash lost everything after that fence. The record is what
+	// Cache.CrashDiscard needs to resolve a crash under an adversarial
+	// persistence policy (drop-all, persist subsets) instead of the
+	// optimistic WritebackAll. Off by default: tracking costs a map
+	// insert per first-touch-after-fence, which the hot-path benchmarks
+	// must not pay. Ignored when Coherent (stores are durable at once).
+	TrackPersist bool
 }
 
 // Device is one multi-headed CXL memory device shared by every simulated

@@ -1,0 +1,217 @@
+package memsim
+
+import (
+	"sort"
+
+	"cxlalloc/internal/xrand"
+)
+
+// Adversarial persistence model.
+//
+// The paper's SWcc safety argument (§3.2.2) rests on the flush/fence
+// discipline: when a thread crashes, a dirty line that was flushed and
+// covered by a completed Fence has certainly reached the device, while a
+// line written after the last fence may or may not have — the cache may
+// evict it on its own at any time, or lose it with the core. Recovery
+// must be correct under *every* outcome for those in-play lines.
+//
+// The legacy crash path (WritebackAll) is the weakest adversary: every
+// dirty line always persists, so recovery would pass even if the
+// allocator omitted every flush. CrashDiscard is the strong adversary:
+// the caller picks, per in-play line, whether it persisted.
+//
+// Drain-horizon model. "In play" is the set of lines stored to since the
+// owner's last completed Fence, not the set of all dirty lines. Dirt
+// older than the last fence is modeled as drained: on the paper's
+// host-survives failure model the core's cache drains to memory over
+// time, and the protocol *relies* on that for the effects of completed
+// operations (local-op bitset updates are deliberately left unflushed —
+// that is the paper's key performance claim). What the flush/fence
+// discipline governs — and therefore what an adversary can legitimately
+// attack — is exactly the window since the last fence: the current
+// operation's unfenced writes, which the 8-byte redo log must cover.
+//
+// Each in-play line carries a durable floor (revEntry): the device image
+// the line reverts to if the crash drops it. The floor is the line's
+// fence-time image — for words already dirty at the fence, the cached
+// value (that dirt drains); for words clean at the fence, the device
+// value at first post-fence touch (the cached copy may be stale).
+
+// revEntry is the durable floor of one in-play line: for every word in
+// mask, words[i] is the value the device holds if the crash drops this
+// line. Words outside mask were not written since the last fence and
+// keep whatever the device has (possibly another thread's updates —
+// restoring them would fabricate cross-thread corruption).
+type revEntry struct {
+	mask  uint8
+	words [LineWords]uint64
+}
+
+// capture records word i of slot s in the durable floor before a Store
+// mutates it. Called only on the incoherent path with track enabled.
+func (c *Cache) capture(s *cacheSlot, i uint) {
+	e := c.recent[s.idx]
+	if e == nil {
+		// First post-fence touch of this line. Every word dirty right now
+		// was dirtied before the last fence, so its floor is the cached
+		// value (old dirt drains to the device eventually).
+		e = &revEntry{mask: s.dirty}
+		e.words = s.words
+		c.recent[s.idx] = e
+	}
+	if e.mask&(1<<i) == 0 {
+		if s.dirty&(1<<i) != 0 {
+			// Dirty but not yet in the floor: dirtied pre-fence (entry
+			// creation covered that case) — unreachable in practice, but
+			// keep the drain semantics if it ever happens.
+			e.words[i] = s.words[i]
+		} else {
+			// Clean resident word: the cached copy may be stale, the
+			// floor is what the device actually holds.
+			e.words[i] = c.dev.swccLoad(int(s.idx)<<lineShift + int(i))
+		}
+		e.mask |= 1 << i
+	}
+}
+
+// InPlay returns the sorted indices of the lines written since the last
+// completed Fence — the lines whose persistence a crash leaves
+// undetermined. Nil when tracking is off or the window is empty.
+func (c *Cache) InPlay() []int32 {
+	if !c.track || len(c.recent) == 0 {
+		return nil
+	}
+	out := make([]int32, 0, len(c.recent))
+	for idx := range c.recent {
+		out = append(out, idx)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CrashPolicyKind selects how CrashDiscard resolves the in-play lines.
+type CrashPolicyKind uint8
+
+const (
+	// PersistAll: every in-play line persists (legacy WritebackAll
+	// behaviour — the optimistic adversary).
+	PersistAll CrashPolicyKind = iota
+	// PersistNone: every in-play line is dropped (the pessimistic
+	// adversary).
+	PersistNone
+	// PersistSubset: in-play line i (in InPlay order) persists iff bit i
+	// of Mask is set. Lines beyond bit 63 are dropped.
+	PersistSubset
+	// PersistRandom: a seeded coin per in-play line, reproducible from
+	// Seed alone.
+	PersistRandom
+)
+
+// CrashPolicy tells CrashDiscard which in-play lines persist.
+type CrashPolicy struct {
+	Kind CrashPolicyKind
+	Mask uint64 // PersistSubset: bit i => InPlay()[i] persists
+	Seed uint64 // PersistRandom: coin-flip seed
+}
+
+// CrashOutcome reports what a CrashDiscard actually did, so a sweep can
+// log and later replay the exact subset.
+type CrashOutcome struct {
+	// InPlay is the window the policy was applied to (sorted line
+	// indices), as InPlay() returned at the crash.
+	InPlay []int32
+	// Mask is the effective persist mask over InPlay (bit i set =>
+	// InPlay[i] persisted), covering min(len(InPlay), 64) lines. It makes
+	// PersistRandom outcomes replayable as PersistSubset.
+	Mask uint64
+	// Persisted and Dropped count in-play lines by fate.
+	Persisted, Dropped int
+}
+
+// CrashDiscard resolves a crash of this cache's owner under pol: each
+// in-play line either persists (its unfenced writes reach the device,
+// as if the cache drained it) or is dropped (the device reverts to the
+// line's durable floor). Lines outside the window — dirt older than the
+// last fence — always drain. The cache is then emptied, as DiscardAll
+// would, so a recovered thread starting on this cache sees no stale
+// residue.
+//
+// With tracking off this degrades to the legacy path: writeback
+// everything, then discard.
+func (c *Cache) CrashDiscard(pol CrashPolicy) CrashOutcome {
+	inPlay := c.InPlay()
+	out := CrashOutcome{InPlay: inPlay}
+
+	// Decide each in-play line's fate.
+	persist := make(map[int32]bool, len(inPlay))
+	var rng *xrand.Rand
+	if pol.Kind == PersistRandom {
+		rng = xrand.New(pol.Seed)
+	}
+	for i, idx := range inPlay {
+		var p bool
+		switch pol.Kind {
+		case PersistAll:
+			p = true
+		case PersistNone:
+			p = false
+		case PersistSubset:
+			p = i < 64 && pol.Mask&(1<<uint(i)) != 0
+		case PersistRandom:
+			p = rng.Uint64()&1 != 0
+		default:
+			panic("memsim: unknown CrashPolicyKind")
+		}
+		persist[idx] = p
+		if p {
+			out.Persisted++
+			if i < 64 {
+				out.Mask |= 1 << uint(i)
+			}
+		} else {
+			out.Dropped++
+		}
+	}
+
+	// Dropped lines: revert the device to the durable floor. Only the
+	// masked words — the untouched words of a shared line may have been
+	// flushed by other threads since the floor was captured.
+	for _, idx := range inPlay {
+		if persist[idx] {
+			continue
+		}
+		e := c.recent[idx]
+		base := int(idx) << lineShift
+		for i := 0; i < LineWords; i++ {
+			if e.mask&(1<<uint(i)) != 0 {
+				c.dev.swccStore(base+i, e.words[i])
+			}
+		}
+	}
+
+	// Surviving lines drain: write back every resident dirty line that
+	// was not dropped (in-play survivors AND pre-window dirt alike).
+	for i := range c.tab {
+		s := &c.tab[i]
+		if s.idx == emptyLine {
+			continue
+		}
+		if p, inWindow := persist[s.idx]; inWindow && !p {
+			continue
+		}
+		c.writeback(s)
+	}
+
+	// Empty the cache (DiscardAll semantics: the crashed core's state is
+	// gone; a successor must fetch fresh lines).
+	for i := range c.tab {
+		c.tab[i].idx = emptyLine
+	}
+	c.n = 0
+	c.lastIdx = emptyLine
+	if c.track {
+		clear(c.recent)
+	}
+	c.publish()
+	return out
+}

@@ -74,6 +74,8 @@ type ChaosStats struct {
 	CrashesMarked           uint64 `json:"crashes_marked"`
 	Recoveries              uint64 `json:"recoveries"`
 	RecoveriesFenced        uint64 `json:"recoveries_fenced"`
+	CrashDiscards           uint64 `json:"crash_discards"`
+	LinesDroppedAtCrash     uint64 `json:"lines_dropped_at_crash"`
 }
 
 // LivenessStats covers the heartbeat/lease/claim plane.
@@ -142,6 +144,8 @@ func (s Snapshot) Delta(prev Snapshot) Snapshot {
 			CrashesMarked:           s.Chaos.CrashesMarked - prev.Chaos.CrashesMarked,
 			Recoveries:              s.Chaos.Recoveries - prev.Chaos.Recoveries,
 			RecoveriesFenced:        s.Chaos.RecoveriesFenced - prev.Chaos.RecoveriesFenced,
+			CrashDiscards:           s.Chaos.CrashDiscards - prev.Chaos.CrashDiscards,
+			LinesDroppedAtCrash:     s.Chaos.LinesDroppedAtCrash - prev.Chaos.LinesDroppedAtCrash,
 		},
 		Liveness: LivenessStats{
 			Renews:         s.Liveness.Renews - prev.Liveness.Renews,

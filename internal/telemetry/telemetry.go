@@ -70,6 +70,10 @@ const (
 	EvRescue
 	EvSelfFence
 
+	// Adversarial persistence: a crashed cache was resolved by
+	// CrashDiscard. A = lines dropped, Arg = in-play window size.
+	EvCrashDiscard
+
 	numKinds
 )
 
@@ -101,6 +105,7 @@ var kindNames = [numKinds]string{
 	EvFalseAlarm:    "false-alarm",
 	EvRescue:        "rescue",
 	EvSelfFence:     "self-fence",
+	EvCrashDiscard:  "crash.discard",
 }
 
 // String returns the stable event-schema name of k.

@@ -53,7 +53,7 @@ func chromeCat(k Kind) string {
 		return "swcc"
 	case EvMCASAttempt, EvMCASRetry, EvMCASFallback, EvNMPFault:
 		return "nmp"
-	case EvCrashPoint, EvCrash, EvRecoveryEnter, EvRecoveryExit:
+	case EvCrashPoint, EvCrash, EvCrashDiscard, EvRecoveryEnter, EvRecoveryExit:
 		return "recovery"
 	default:
 		return "liveness"

@@ -15,7 +15,20 @@
 //
 // Experiments: table1, table2, fig7, fig8, fig9, fig10, fig11, fig12,
 // ablation-recovery, ablation-owner-cache, ablation-hwcc,
-// ablation-disown, chaos, persist, mttr, hotpath, obs, all.
+// ablation-disown, chaos, persist, mttr, hotpath, obs, livechaos, all.
+//
+// -exp livechaos runs the online chaos gate: continuous kvstore traffic
+// with no quiesce while a seeded injector kills threads and whole
+// processes at random crash points, resolves each crash with an
+// adversarial persist-subset drop, and fires NMP fault bursts; the
+// liveness watchdog is the only recovery path. The run reports ops/s,
+// p99 latency, MTTR percentiles, availability, and three gates
+// (invariants+ledger, lost acks, false takeovers). The fault schedule
+// is recorded to -schedule-out as NDJSON and replayed bit-for-bit with
+// -replay:
+//
+//	cxlbench -exp livechaos -seed 1 -duration 10s -schedule-out s.ndjson
+//	cxlbench -exp livechaos -seed 1 -replay s.ndjson
 //
 // -exp persist runs the adversarial persistence sweep: every crash
 // point crossed with enumerated/sampled persist subsets of the
@@ -50,6 +63,7 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"cxlalloc/internal/bench"
 	"cxlalloc/internal/chaos"
@@ -79,6 +93,12 @@ func main() {
 		perMutate  = flag.Bool("persist-mutate", false, "persist: run against the SkipOplogFlush mutant (sweep must fail; meta-test)")
 		traceOut   = flag.String("trace", "", "record a Chrome trace_event JSON of the run to this file (open in chrome://tracing or ui.perfetto.dev)")
 		metricsOut = flag.String("metrics", "", "append unified metrics snapshots (NDJSON, one per measured cxlalloc cell) to this file")
+		duration   = flag.Duration("duration", 0, "livechaos: traffic window (default 10s)")
+		faultRate  = flag.Float64("fault-rate", 0, "livechaos: mean fault injections per second (default 1.2)")
+		replayPath = flag.String("replay", "", "livechaos: replay this NDJSON fault schedule instead of recording one")
+		schedOut   = flag.String("schedule-out", "", "livechaos: write the run's fault schedule to this NDJSON file")
+		leaseWall  = flag.Duration("lease", 0, "livechaos: target lease wall-clock expiry (default 400ms; raise on heavily shared machines to avoid benign claim storms)")
+		strictTr   = flag.Bool("strict-trace", false, "fail the run if the -trace ring dropped any events")
 		obsGate    = flag.String("obs-gate", "", "fail if obs disabled-tracing throughput regressed vs the baseline run in this BENCH_obs.json")
 		obsGatePct = flag.Float64("obs-gate-pct", 5, "obs gate tolerance in percent")
 		obsGateRef = flag.String("obs-gate-label", "baseline", "obs gate baseline run label")
@@ -126,6 +146,13 @@ func main() {
 	if *seed != 0 {
 		sc.Seed = *seed
 	}
+	liveFlags = liveOpts{
+		duration:  *duration,
+		faultRate: *faultRate,
+		replay:    *replayPath,
+		schedOut:  *schedOut,
+		leaseWall: *leaseWall,
+	}
 	persistFlags = persistOpts{
 		point:   *perPoint,
 		mask:    *perMask,
@@ -170,6 +197,16 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		// Every report row carries the run's workload seed, so any cell
+		// in any output file is reproducible from its own metadata.
+		for i := range rows {
+			if rows[i].Extra == nil {
+				rows[i].Extra = map[string]string{}
+			}
+			if _, ok := rows[i].Extra["seed"]; !ok {
+				rows[i].Extra["seed"] = fmt.Sprint(sc.Seed)
+			}
+		}
 		all = append(all, rows...)
 		print(e, rows)
 	}
@@ -205,6 +242,12 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote trace (%d events, %d dropped) to %s\n",
 			tracer.Recorded(), tracer.Dropped(), *traceOut)
+		if d := tracer.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "WARNING: trace ring dropped %d events; the trace has gaps (grow the ring or shrink the run)\n", d)
+			if *strictTr {
+				fatal(fmt.Errorf("-strict-trace: trace ring dropped %d events", d))
+			}
+		}
 	}
 	if *metricsOut != "" {
 		f, err := os.OpenFile(*metricsOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -275,6 +318,8 @@ func run(e string, sc bench.Scale, wl []string) ([]bench.Row, error) {
 		return bench.RunHotpath(sc)
 	case "obs":
 		return bench.RunObs(sc)
+	case "livechaos":
+		return runLiveChaos(sc)
 	default:
 		return nil, fmt.Errorf("unknown experiment %q", e)
 	}
@@ -357,6 +402,100 @@ func runChaos(sc bench.Scale) ([]bench.Row, error) {
 		return rows, fmt.Errorf("chaos gate failed: %s", rep.Summary())
 	}
 	return rows, nil
+}
+
+// liveOpts carries the livechaos flags into runLiveChaos.
+type liveOpts struct {
+	duration  time.Duration
+	faultRate float64
+	replay    string
+	schedOut  string
+	leaseWall time.Duration
+}
+
+var liveFlags liveOpts
+
+// runLiveChaos runs the online chaos gate: continuous traffic, a seeded
+// concurrent fault injector, watchdog-only recovery, and the lost-ack
+// oracle. Any gate failure (invariant/ledger violation, a lost acked
+// write, a false takeover) is a hard error (non-zero exit).
+func runLiveChaos(sc bench.Scale) ([]bench.Row, error) {
+	cfg := chaos.DefaultLiveConfig()
+	cfg.Seed = sc.Seed
+	if liveFlags.duration > 0 {
+		cfg.Duration = liveFlags.duration
+	}
+	if liveFlags.faultRate > 0 {
+		cfg.FaultRate = liveFlags.faultRate
+	}
+	if liveFlags.leaseWall > 0 {
+		cfg.LeaseWall = liveFlags.leaseWall
+	}
+	if liveFlags.replay != "" {
+		specs, err := chaos.LoadSchedule(liveFlags.replay)
+		if err != nil {
+			return nil, fmt.Errorf("livechaos: %v", err)
+		}
+		if len(specs) == 0 {
+			return nil, fmt.Errorf("livechaos: %s holds no fault specs", liveFlags.replay)
+		}
+		cfg.Replay = specs
+	}
+
+	rep, err := chaos.RunLive(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Print(chaos.FormatLiveReport(rep))
+
+	if liveFlags.schedOut != "" {
+		if err := chaos.SaveSchedule(liveFlags.schedOut, rep.Schedule); err != nil {
+			return nil, fmt.Errorf("livechaos: writing schedule: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d fault specs to %s\n", len(rep.Schedule), liveFlags.schedOut)
+	}
+
+	row := bench.Row{
+		Experiment: "livechaos",
+		Workload:   "online",
+		Allocator:  "cxlalloc-mcas",
+		Threads:    rep.Threads,
+		Procs:      rep.Procs,
+		Ops:        int(rep.Ops),
+		ElapsedSec: rep.Elapsed.Seconds(),
+		Throughput: rep.Throughput,
+		Extra: map[string]string{
+			"seed":            fmt.Sprint(rep.Seed),
+			"latency_p50":     rep.LatencyP50.String(),
+			"latency_p99":     rep.LatencyP99.String(),
+			"acked":           fmt.Sprint(rep.Acked),
+			"crashes":         fmt.Sprint(rep.Crashes),
+			"thread_kills":    fmt.Sprint(rep.ThreadKills),
+			"proc_kills":      fmt.Sprint(rep.ProcKills),
+			"nmp_bursts":      fmt.Sprint(rep.NMPBursts),
+			"nmp_faults":      fmt.Sprint(rep.NMPFaults),
+			"crash_discards":  fmt.Sprint(rep.CrashDiscards),
+			"lines_dropped":   fmt.Sprint(rep.LinesDropped),
+			"repairs":         fmt.Sprint(rep.Repairs),
+			"mttr_p50":        rep.MTTRP50.Round(time.Millisecond).String(),
+			"mttr_p99":        rep.MTTRP99.Round(time.Millisecond).String(),
+			"mttr_max":        rep.MTTRMax.Round(time.Millisecond).String(),
+			"availability":    fmt.Sprintf("%.4f", rep.Availability),
+			"violations":      fmt.Sprint(len(rep.Violations)),
+			"lost_acks":       fmt.Sprint(len(rep.LostAcks)),
+			"false_takeovers": fmt.Sprint(rep.FalseTakeovers),
+			"replayed":        fmt.Sprint(rep.Replayed),
+			"replay_ok":       fmt.Sprint(rep.ReplayOK),
+		},
+	}
+	if !rep.Ok() {
+		return []bench.Row{row}, fmt.Errorf("livechaos gate failed: %d invariant violations, %d lost acks, %d false takeovers",
+			len(rep.Violations), len(rep.LostAcks), rep.FalseTakeovers)
+	}
+	if rep.Replayed && !rep.ReplayOK {
+		return []bench.Row{row}, fmt.Errorf("livechaos replay gate failed: emitted schedule differs from %s", liveFlags.replay)
+	}
+	return []bench.Row{row}, nil
 }
 
 // persistOpts carries the -persist-* flags into runPersist.

@@ -144,7 +144,9 @@ type Pod struct {
 	dev  *memsim.Device
 	heap *core.Heap
 
-	// Self-healing configuration (NewPodWith). Immutable after creation.
+	// Self-healing configuration (NewPodWith). auto and onEvent are
+	// immutable after creation; lcfg may be swapped at a quiesce point
+	// via RetuneLiveness (guarded by mu).
 	auto    bool
 	lcfg    liveness.Config
 	onEvent func(LivenessEvent)
@@ -270,6 +272,24 @@ func (pod *Pod) rescueSlot(tid int) bool {
 
 // leaseTicks is the pod's configured lease duration.
 func (pod *Pod) leaseTicks() uint64 { return pod.lcfg.LeaseTicks() }
+
+// RetuneLiveness replaces the heartbeat cadence on an AutoRecover pod
+// (zero fields take defaults). Lease durations are denominated in pod
+// logical-clock ticks, whose wall rate depends on load, so a harness
+// that needs a wall-clock lease target must first measure the pod's
+// real tick rate and then retune. Only safe at a quiesce point: no
+// thread may be inside Run while the managers' configs are swapped.
+// Already-granted leases keep their old deadlines until next renewal.
+func (pod *Pod) RetuneLiveness(cfg LivenessConfig) {
+	pod.mu.Lock()
+	defer pod.mu.Unlock()
+	pod.lcfg = cfg.WithDefaults()
+	for _, p := range pod.procs {
+		if p.mgr != nil {
+			p.mgr.Retune(cfg)
+		}
+	}
+}
 
 // Heap exposes the underlying allocator for benchmarks and tests.
 func (pod *Pod) Heap() *core.Heap { return pod.heap }

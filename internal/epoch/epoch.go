@@ -33,6 +33,13 @@ type threadState struct {
 	buckets  [buckets]bucket
 	lastSeen uint64
 	retires  int
+	// draining holds pointers whose grace period has elapsed but whose
+	// free has not completed. Retire moves a rotated bucket here BEFORE
+	// recording the new retiree: the frees below are crash-instrumented,
+	// and a crash must never unwind past the point where the retiree
+	// would have been recorded — the caller has already unlinked it, so
+	// a dropped pointer is a leaked block.
+	draining []uint64
 }
 
 // Reclaimer coordinates reclamation across nThreads threads. Enter,
@@ -78,15 +85,31 @@ func (r *Reclaimer) Retire(tid int, p uint64) {
 	b := &ts.buckets[e%buckets]
 	if b.epoch != e {
 		// The bucket holds retirements from epoch e-3 or older: at
-		// least two advances ago, safe to free.
-		r.drain(tid, b)
+		// least two advances ago, safe to free. Set them aside before
+		// touching the allocator so p is recorded even if a free
+		// crashes partway through.
+		ts.draining = append(ts.draining, b.ptrs...)
+		b.ptrs = b.ptrs[:0]
 		b.epoch = e
 	}
 	b.ptrs = append(b.ptrs, p)
 	ts.retires++
+	r.drainAside(tid, ts)
 	if ts.retires >= retireThreshold {
 		ts.retires = 0
 		r.TryAdvance(tid)
+	}
+}
+
+// drainAside frees the set-aside pointers, popping each before its free
+// so a crashed-and-revived thread cannot double-free one whose free the
+// redo protocol already completed.
+func (r *Reclaimer) drainAside(tid int, ts *threadState) {
+	for len(ts.draining) > 0 {
+		p := ts.draining[len(ts.draining)-1]
+		ts.draining = ts.draining[:len(ts.draining)-1]
+		r.free(tid, p)
+		r.freed.Add(1)
 	}
 }
 
@@ -115,17 +138,25 @@ func (r *Reclaimer) TryAdvance(tid int) bool {
 // thread inside a critical section); benchmarks call it at teardown.
 func (r *Reclaimer) Flush(tid int) {
 	ts := &r.threads[tid]
+	r.drainAside(tid, ts)
 	for i := range ts.buckets {
 		r.drain(tid, &ts.buckets[i])
 	}
 }
 
 func (r *Reclaimer) drain(tid int, b *bucket) {
-	for _, p := range b.ptrs {
+	// Pop each pointer before freeing it: the allocator's Free is
+	// crash-instrumented, and a free that has started is irrevocable (a
+	// crash mid-free is completed by the redo protocol on recovery). If
+	// the owning thread crashes inside r.free and is revived, the next
+	// drain must not see — and double-free — a pointer whose free already
+	// ran to its redo-covered point.
+	for len(b.ptrs) > 0 {
+		p := b.ptrs[len(b.ptrs)-1]
+		b.ptrs = b.ptrs[:len(b.ptrs)-1]
 		r.free(tid, p)
 		r.freed.Add(1)
 	}
-	b.ptrs = b.ptrs[:0]
 }
 
 // Freed returns how many retired pointers have been freed.

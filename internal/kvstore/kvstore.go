@@ -98,9 +98,24 @@ func hash(key []byte) uint64 {
 // (e.g. cxl-shm's size cap) unchanged, so the harness can record
 // unsupported configurations.
 func (s *Store) Put(tid int, key, val []byte) error {
+	return s.PutTracked(tid, key, val, nil)
+}
+
+// PutTracked is Put with an allocation-visibility hook for crash-aware
+// clients: onAlloc (when non-nil) runs as soon as the value allocation
+// has returned, before any byte is written or the node is linked. A
+// client that crashes mid-Put can then resolve the op's fate exactly —
+// Linked reports whether the insert committed; if it did not, the
+// captured pointer is the client's to FreeOrphan. (A crash before
+// onAlloc runs leaves the allocation, if any, to the recovery report's
+// PendingAlloc — the two windows cannot overlap.)
+func (s *Store) PutTracked(tid int, key, val []byte, onAlloc func(alloc.Ptr)) error {
 	p, err := s.mem.Alloc(tid, len(key)+len(val))
 	if err != nil {
 		return err
+	}
+	if onAlloc != nil {
+		onAlloc(p)
 	}
 	buf := s.mem.Bytes(tid, p, len(key)+len(val))
 	copy(buf, key)
@@ -228,6 +243,57 @@ func (s *Store) unlink(tid int, h uint64, victim *node) {
 		// A concurrent head insert changed the bucket; retry.
 	}
 	s.rec.Retire(tid, victim.ptr)
+}
+
+// Linked reports whether key's chain currently holds a live (not
+// logically deleted) node whose allocation is p. Crash resolution uses
+// it to decide whether an in-flight PutTracked committed: the head CAS
+// is the insert's linearization point, so a captured allocation that is
+// not linked afterwards never became visible to readers.
+func (s *Store) Linked(tid int, key []byte, p alloc.Ptr) bool {
+	h := hash(key)
+	s.rec.Enter(tid)
+	defer s.rec.Exit(tid)
+	for n := s.buckets[h&s.mask].Load(); n != nil; n = n.next.Load() {
+		if n.ptr == p && !n.deleted.Load() {
+			return true
+		}
+	}
+	return false
+}
+
+// Sweep restores the at-most-one-live-node invariant for key after a
+// crashed Put: a Put that crashed between its head CAS and the retire
+// of the older entry leaves two live nodes for the key. Sweep keeps the
+// first (newest) live match and deletes every later one, returning how
+// many duplicates it removed. Idempotent — a crash inside Sweep is
+// resolved by running it again.
+func (s *Store) Sweep(tid int, key []byte) int {
+	h := hash(key)
+	s.rec.Enter(tid)
+	defer s.rec.Exit(tid)
+	mu := s.shard(h)
+	mu.Lock()
+	defer mu.Unlock()
+	removed := 0
+	seen := false
+	for n := s.buckets[h&s.mask].Load(); n != nil; n = n.next.Load() {
+		if n.deleted.Load() || n.hash != h || int(n.keyLen) != len(key) {
+			continue
+		}
+		buf := s.mem.Bytes(tid, n.ptr, int(n.keyLen))
+		if !bytes.Equal(buf, key) {
+			continue
+		}
+		if !seen {
+			seen = true
+			continue
+		}
+		n.deleted.Store(true)
+		s.unlink(tid, h, n)
+		removed++
+	}
+	return removed
 }
 
 // Stats is the store's operation accounting.

@@ -125,9 +125,11 @@ type Event struct {
 	Victim   int    // thread slot acted on
 	Claimant int    // thread that ran the watchdog step
 	Gen      uint16 // claim generation (claim-related kinds)
-	// WasAlive records whether the victim's slot was actually alive at
-	// claim time — the simulator's ground truth for the false-takeover
-	// metric. A correctly tuned grace multiple keeps this always false.
+	// WasAlive records whether the victim's slot was actually alive AND
+	// leased at claim time — the simulator's ground truth for the
+	// false-takeover metric (an alive-but-unleased slot is the rescue
+	// case, a designed recovery path). A correctly tuned grace multiple
+	// keeps this always false.
 	WasAlive bool
 	// Report is the recovery report (KindRepair only).
 	Report core.RecoveryReport
@@ -204,6 +206,18 @@ func NewManager(heap *core.Heap, space *vas.Space, cfg Config, hooks Hooks) *Man
 // Config returns the normalized configuration.
 func (m *Manager) Config() Config { return m.cfg }
 
+// Retune replaces the manager's cadence configuration (zero fields take
+// defaults, as at construction). The run path reads cfg without
+// synchronization, so Retune is only safe while no thread of this
+// process is inside Heartbeat/Poll — a quiesce point, such as the
+// calibration barrier of the online chaos harness, which measures the
+// pod's real tick rate and then widens the lease to a wall-clock target.
+func (m *Manager) Retune(cfg Config) {
+	m.pollMu.Lock()
+	m.cfg = cfg.WithDefaults()
+	m.pollMu.Unlock()
+}
+
 // FalseTakeovers returns how many claims this manager won on slots that
 // were actually alive. Must stay 0 under a sane grace multiple.
 func (m *Manager) FalseTakeovers() uint64 { return m.falseTakeovers.Load() }
@@ -259,15 +273,17 @@ func (m *Manager) Heartbeat(tid int, epoch uint16) (fenced bool) {
 		return true
 	}
 	if pollDue {
-		m.Poll(tid, now)
+		m.Poll(tid, epoch, now)
 	}
 	return false
 }
 
 // Poll sweeps the lease table once from thread tid's vantage point,
-// claiming and repairing every expired slot. Exposed for tests and
-// experiments; Heartbeat calls it on the configured cadence.
-func (m *Manager) Poll(tid int, now uint64) {
+// claiming and repairing every expired slot. epoch is tid's own lease
+// epoch (the repairer extends its own lease across a long repair).
+// Exposed for tests and experiments; Heartbeat calls it on the
+// configured cadence.
+func (m *Manager) Poll(tid int, epoch uint16, now uint64) {
 	m.pollMu.Lock()
 	defer m.pollMu.Unlock()
 	for v := 0; v < m.heap.Config().NumThreads; v++ {
@@ -280,12 +296,18 @@ func (m *Manager) Poll(tid int, now uint64) {
 			delete(m.pending, v)
 			continue
 		}
-		m.pollSlot(tid, v, now)
+		m.pollSlot(tid, v, epoch, now)
 	}
 }
 
+// repairLeaseMult sizes the repairer's self-extension: a repair may
+// take several lease windows of wall time (the recovery scan is the
+// longest single operation a thread runs), and the pod clock keeps
+// ticking under the surviving threads meanwhile.
+const repairLeaseMult = 4
+
 // pollSlot runs the claim state machine for one expired slot.
-func (m *Manager) pollSlot(tid, v int, now uint64) {
+func (m *Manager) pollSlot(tid, v int, epoch uint16, now uint64) {
 	heap := m.heap
 	tok, retrying := m.pending[v]
 	if retrying && tok.Claimant == tid && heap.ClaimHeldBy(v, tok) {
@@ -302,7 +324,13 @@ func (m *Manager) pollSlot(tid, v int, now uint64) {
 			!heap.LeaseExpired(tid, holder, now) {
 			return
 		}
-		wasAlive := heap.Alive(v)
+		// Ground truth for the false-takeover metric: a slot that is alive
+		// AND leased is a healthy (merely slow) thread, and claiming it is
+		// a real false takeover. Alive-but-unleased is different: that is
+		// a committed repair whose claimant died before re-leasing the
+		// slot (the rescue case below) — claiming it is the designed
+		// recovery path, not a mistake.
+		wasAlive := heap.Alive(v) && heap.Leased(v)
 		var ok bool
 		tok, ok = heap.ClaimAcquire(tid, v, now)
 		if !ok {
@@ -314,6 +342,19 @@ func (m *Manager) pollSlot(tid, v int, now uint64) {
 		m.pending[v] = tok
 		m.emit(Event{Kind: KindClaim, Tick: now, Victim: v, Claimant: tid,
 			Gen: tok.Gen, WasAlive: wasAlive})
+	}
+
+	// The repair below can outlast our own lease while sibling watchdogs
+	// keep the clock ticking; they would then storm claims on a live,
+	// merely busy, repairer. Extend our own lease to cover the repair —
+	// the next regular renewal shrinks the horizon back. A failed
+	// extension means this incarnation was fenced mid-poll and must not
+	// repair anything: drop the claim and let the self-fence surface at
+	// the next heartbeat.
+	if !heap.LeaseRenew(tid, epoch, now+repairLeaseMult*m.cfg.LeaseTicks()) {
+		heap.ClaimRelease(v, tok)
+		delete(m.pending, v)
+		return
 	}
 
 	var rep core.RecoveryReport

@@ -95,7 +95,11 @@ func (e *tenv) beat(tid int) *crash.Crashed {
 // want is alive and leased, failing after a bounded number of rounds.
 func (e *tenv) converge(beaters []int, want ...int) {
 	e.t.Helper()
-	for round := 0; round < 64; round++ {
+	// A claimant that died mid-repair holds a lease extended by
+	// repairLeaseMult windows; converging past it needs that many extra
+	// ticks from however few beaters remain.
+	rounds := 64 + int(e.cfg.LeaseTicks())*(repairLeaseMult+1)
+	for round := 0; round < rounds; round++ {
 		for _, tid := range beaters {
 			e.beat(tid)
 		}

@@ -153,7 +153,24 @@ type Tracer struct {
 	rings  []ring // index tid+1; rings[0] is the SystemTID ring
 	mask   uint64
 	counts [numKinds]atomic.Uint64
+
+	// Lossless retention side log (Keep). keepMask is a per-kind bit
+	// set; kept events of selected kinds are appended under keepMu so
+	// ring wraparound cannot overwrite them.
+	keepMask atomic.Uint64
+	keepMu   sync.Mutex
+	kept     []Event
+	keptLost atomic.Uint64
 }
+
+// Every Kind must fit the keepMask word; this line fails to compile if
+// the kind list ever grows past 64.
+const _ = uint64(1) << numKinds
+
+// keepCap bounds the Keep side log; kept kinds are rare (crashes,
+// recoveries), so hitting the cap means a pathological run — the
+// overflow is counted, not silently dropped.
+const keepCap = 1 << 20
 
 // active is the single global gate: nil means tracing is disabled and
 // Enabled()/Emit cost one atomic load and a branch.
@@ -175,15 +192,54 @@ func (t *Tracer) emit(tid int, kind Kind, a uint64, arg uint32) {
 	if ti := tid + 1; ti >= 1 && ti < len(t.rings) {
 		r = &t.rings[ti]
 	}
+	ev := Event{
+		TS:   int64(time.Since(t.start)),
+		A:    a,
+		Arg:  arg,
+		Kind: kind,
+		TID:  int16(tid),
+	}
 	i := r.head.Add(1) - 1
-	e := &r.ev[i&t.mask]
-	e.TS = int64(time.Since(t.start))
-	e.A = a
-	e.Arg = arg
-	e.Kind = kind
-	e.TID = int16(tid)
+	r.ev[i&t.mask] = ev
 	t.counts[kind].Add(1)
+	if t.keepMask.Load()&(1<<uint(kind)) != 0 {
+		t.keepMu.Lock()
+		if len(t.kept) < keepCap {
+			t.kept = append(t.kept, ev)
+		} else {
+			t.keptLost.Add(1)
+		}
+		t.keepMu.Unlock()
+	}
 }
+
+// Keep marks kinds for lossless retention: every subsequent emit of a
+// kept kind is also appended, under a mutex, to a bounded side log that
+// ring wraparound cannot overwrite. The rings remain the high-rate
+// path; Keep exists for rare, load-bearing events — the crash and
+// recovery markers that MTTR and availability are derived from — which
+// an event flood would otherwise overwrite long before a run ends.
+func (t *Tracer) Keep(kinds ...Kind) {
+	m := t.keepMask.Load()
+	for _, k := range kinds {
+		m |= 1 << uint(k)
+	}
+	t.keepMask.Store(m)
+}
+
+// Kept returns a timestamp-ordered copy of the retained events. Quiesce
+// emitters first for a complete view.
+func (t *Tracer) Kept() []Event {
+	t.keepMu.Lock()
+	out := append([]Event(nil), t.kept...)
+	t.keepMu.Unlock()
+	sort.SliceStable(out, func(a, b int) bool { return out[a].TS < out[b].TS })
+	return out
+}
+
+// KeptLost returns how many kept-kind events were discarded at the side
+// log's cap.
+func (t *Tracer) KeptLost() uint64 { return t.keptLost.Load() }
 
 // NewTracer builds a tracer for tids 0..threads-1 (plus the system
 // ring) holding up to perThread events per ring. perThread is rounded

@@ -3,6 +3,7 @@
 //
 // Usage:
 //
+//	cxlbench -list                           # registered experiments
 //	cxlbench -exp all                        # everything, default scale
 //	cxlbench -exp fig8 -workloads YCSB-A     # one figure, one workload
 //	cxlbench -exp fig11 -threads 1,4,8,16    # latency sweep
@@ -12,10 +13,20 @@
 //	cxlbench -exp hotpath -cpuprofile cpu.pprof -memprofile mem.pprof
 //	cxlbench -trace out.json -exp fig9 -scale small
 //	cxlbench -exp obs -scale small -obs-gate BENCH_obs.json
+//	cxlbench -exp slo -json BENCH_slo.json -label baseline
 //
-// Experiments: table1, table2, fig7, fig8, fig9, fig10, fig11, fig12,
-// ablation-recovery, ablation-owner-cache, ablation-hwcc,
-// ablation-disown, chaos, persist, mttr, hotpath, obs, livechaos, all.
+// Run cxlbench -list for the experiment registry with descriptions.
+// -exp all runs the paper's tables/figures and the offline gates; the
+// online gates (livechaos, slo, slochaos) run only when named.
+//
+// -exp slo drives open-loop YCSB-shaped load through the KV service
+// front end (internal/server) at fixed multiples of measured capacity,
+// reporting goodput, p50/p99/p999, and shed/retry/breaker counts, with
+// hard gates: no lost acks, goodput at 2x >= 80% of capacity, bounded
+// p99, shedding engaged at the top rate. -exp slochaos reruns the 2x
+// point while killing whole process groups (watchdog-only recovery)
+// and additionally gates that the circuit breaker opened and nothing
+// acked was lost.
 //
 // -exp livechaos runs the online chaos gate: continuous kvstore traffic
 // with no quiesce while a seeded injector kills threads and whole
@@ -70,9 +81,55 @@ import (
 	"cxlalloc/internal/telemetry"
 )
 
+// expDef is one registered experiment: its -exp name, a one-line
+// description for -list, whether -exp all includes it, and its runner.
+type expDef struct {
+	name  string
+	desc  string
+	inAll bool
+	run   func(sc bench.Scale, wl []string) ([]bench.Row, error)
+}
+
+// experiments is the registry behind -exp and -list. Order is the
+// -exp all execution order (gated online runs are opt-in by name).
+var experiments = []expDef{
+	{"table1", "property matrix across allocators (Table 1)", true, func(sc bench.Scale, _ []string) ([]bench.Row, error) { return bench.RunTable1(sc) }},
+	{"table2", "YCSB workload suite at default scale (Table 2)", true, func(sc bench.Scale, _ []string) ([]bench.Row, error) { return bench.RunTable2(sc, 0) }},
+	{"fig7", "recovery time vs live objects (Figure 7)", true, func(sc bench.Scale, _ []string) ([]bench.Row, error) { return bench.RunFig7(sc, 0, 0) }},
+	{"fig8", "throughput by workload and allocator (Figure 8)", true, func(sc bench.Scale, wl []string) ([]bench.Row, error) { return bench.RunFig8(sc, wl) }},
+	{"fig9", "multi-process scaling (Figure 9)", true, func(sc bench.Scale, _ []string) ([]bench.Row, error) { return bench.RunFig9(sc) }},
+	{"fig10", "PSS footprint under churn (Figure 10)", true, func(sc bench.Scale, _ []string) ([]bench.Row, error) { return bench.RunFig10(sc, nil) }},
+	{"fig11", "operation latency percentiles by thread count (Figure 11)", true, func(sc bench.Scale, _ []string) ([]bench.Row, error) {
+		return bench.RunFig11(sc.Threads, max(sc.Ops/100, 200))
+	}},
+	{"fig12", "HWcc traffic accounting (Figure 12)", true, func(sc bench.Scale, _ []string) ([]bench.Row, error) { return bench.RunFig12(sc) }},
+	{"ablation-recovery", "recovery path ablation", true, func(sc bench.Scale, _ []string) ([]bench.Row, error) { return bench.RunAblationRecovery(sc) }},
+	{"ablation-owner-cache", "owner-cache ablation", true, func(sc bench.Scale, _ []string) ([]bench.Row, error) { return bench.RunAblationOwnerCache(sc) }},
+	{"ablation-hwcc", "HWcc accounting ablation", true, func(sc bench.Scale, _ []string) ([]bench.Row, error) { return bench.RunAblationHWccAccounting(sc) }},
+	{"ablation-disown", "disown batching ablation", true, func(sc bench.Scale, _ []string) ([]bench.Row, error) { return bench.RunAblationDisown(sc, 0) }},
+	{"chaos", "crash-point sweep gate (thread/process kills, NMP faults)", true, func(sc bench.Scale, _ []string) ([]bench.Row, error) { return runChaos(sc) }},
+	{"persist", "adversarial persistence gate (crash point x persist subset)", true, func(sc bench.Scale, _ []string) ([]bench.Row, error) { return runPersist(sc) }},
+	{"mttr", "watchdog repair-time distribution", true, func(sc bench.Scale, _ []string) ([]bench.Row, error) { return bench.RunMTTR(sc) }},
+	{"hotpath", "allocation hot-path microbenchmark", true, func(sc bench.Scale, _ []string) ([]bench.Row, error) { return bench.RunHotpath(sc) }},
+	{"obs", "telemetry overhead on/off comparison", true, func(sc bench.Scale, _ []string) ([]bench.Row, error) { return bench.RunObs(sc) }},
+	{"livechaos", "online chaos gate: live traffic, fault injection, watchdog-only recovery, lost-ack oracle", false, func(sc bench.Scale, _ []string) ([]bench.Row, error) { return runLiveChaos(sc) }},
+	{"slo", "open-loop overload sweep through the KV service front end (goodput, p99, shed/retry gates)", false, runSLO},
+	{"slochaos", "service gate under process-group kills at 2x load (breaker + lost-ack gates)", false, runSLOChaos},
+}
+
+func findExp(name string) *expDef {
+	for i := range experiments {
+		if experiments[i].name == name {
+			return &experiments[i]
+		}
+	}
+	return nil
+}
+
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment to run (comma-separated)")
+		exp        = flag.String("exp", "all", "experiment to run (comma-separated; see -list)")
+		list       = flag.Bool("list", false, "print the registered experiments and exit")
 		scaleName  = flag.String("scale", "default", "small | default")
 		out        = flag.String("out", "", "append NDJSON results to this file")
 		jsonOut    = flag.String("json", "", "append a labeled, stably sorted run to this BENCH_*.json file")
@@ -97,13 +154,70 @@ func main() {
 		faultRate  = flag.Float64("fault-rate", 0, "livechaos: mean fault injections per second (default 1.2)")
 		replayPath = flag.String("replay", "", "livechaos: replay this NDJSON fault schedule instead of recording one")
 		schedOut   = flag.String("schedule-out", "", "livechaos: write the run's fault schedule to this NDJSON file")
-		leaseWall  = flag.Duration("lease", 0, "livechaos: target lease wall-clock expiry (default 400ms; raise on heavily shared machines to avoid benign claim storms)")
+		leaseWall  = flag.Duration("lease", 0, "livechaos/slochaos: target lease wall-clock expiry (default 400ms; raise on heavily shared machines to avoid benign claim storms)")
+		sloWindow  = flag.Duration("slo-window", 0, "slo: measured window per rate point (default 1.5s)")
+		sloDead    = flag.Duration("slo-deadline", 0, "slo: per-request deadline budget (default 25ms)")
+		sloRates   = flag.String("slo-rates", "", "slo: offered-load multipliers of measured capacity (default 0.5,1,2,4)")
+		sloClients = flag.Int("slo-clients", 0, "slo: issuer connection count (default 16)")
+		sloQueue   = flag.Int("slo-queue", 0, "slo: per-group admission queue bound (default 64)")
 		strictTr   = flag.Bool("strict-trace", false, "fail the run if the -trace ring dropped any events")
 		obsGate    = flag.String("obs-gate", "", "fail if obs disabled-tracing throughput regressed vs the baseline run in this BENCH_obs.json")
 		obsGatePct = flag.Float64("obs-gate-pct", 5, "obs gate tolerance in percent")
 		obsGateRef = flag.String("obs-gate-label", "baseline", "obs gate baseline run label")
 	)
 	flag.Parse()
+
+	if *list {
+		for _, e := range experiments {
+			scope := "  "
+			if !e.inAll {
+				scope = "* " // opt-in: not part of -exp all
+			}
+			fmt.Printf("%s%-22s %s\n", scope, e.name, e.desc)
+		}
+		fmt.Println("\nexperiments marked * run only when named (not part of -exp all)")
+		return
+	}
+
+	liveFlags = liveOpts{
+		duration:  *duration,
+		faultRate: *faultRate,
+		replay:    *replayPath,
+		schedOut:  *schedOut,
+		leaseWall: *leaseWall,
+	}
+	persistFlags = persistOpts{
+		point:   *perPoint,
+		mask:    *perMask,
+		cap:     *perCap,
+		samples: *perSamples,
+		mutate:  *perMutate,
+	}
+	sloFlags = sloOpts{
+		window:   *sloWindow,
+		deadline: *sloDead,
+		rates:    *sloRates,
+		clients:  *sloClients,
+		queueCap: *sloQueue,
+	}
+
+	exps := strings.Split(*exp, ",")
+	if *exp == "all" {
+		exps = exps[:0]
+		for _, e := range experiments {
+			if e.inAll {
+				exps = append(exps, e.name)
+			}
+		}
+	}
+	for i := range exps {
+		exps[i] = strings.TrimSpace(exps[i])
+	}
+	if err := validateFlags(exps); err != nil {
+		fmt.Fprintln(os.Stderr, "cxlbench:", err)
+		fmt.Fprintln(os.Stderr, "run cxlbench -list for experiments, cxlbench -h for flags")
+		os.Exit(2)
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -146,21 +260,6 @@ func main() {
 	if *seed != 0 {
 		sc.Seed = *seed
 	}
-	liveFlags = liveOpts{
-		duration:  *duration,
-		faultRate: *faultRate,
-		replay:    *replayPath,
-		schedOut:  *schedOut,
-		leaseWall: *leaseWall,
-	}
-	persistFlags = persistOpts{
-		point:   *perPoint,
-		mask:    *perMask,
-		cap:     *perCap,
-		samples: *perSamples,
-		mutate:  *perMutate,
-	}
-
 	var wl []string
 	if *workloads != "" {
 		wl = strings.Split(*workloads, ",")
@@ -185,15 +284,9 @@ func main() {
 		}
 	}
 
-	exps := strings.Split(*exp, ",")
-	if *exp == "all" {
-		exps = []string{"table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
-			"ablation-recovery", "ablation-owner-cache", "ablation-hwcc", "ablation-disown", "chaos", "persist", "mttr", "hotpath", "obs"}
-	}
-
 	var all []bench.Row
 	for _, e := range exps {
-		rows, err := run(strings.TrimSpace(e), sc, wl)
+		rows, err := findExp(e).run(sc, wl)
 		if err != nil {
 			fatal(err)
 		}
@@ -282,47 +375,46 @@ func main() {
 	}
 }
 
-func run(e string, sc bench.Scale, wl []string) ([]bench.Row, error) {
-	switch e {
-	case "table1":
-		return bench.RunTable1(sc)
-	case "table2":
-		return bench.RunTable2(sc, 0)
-	case "fig7":
-		return bench.RunFig7(sc, 0, 0)
-	case "fig8":
-		return bench.RunFig8(sc, wl)
-	case "fig9":
-		return bench.RunFig9(sc)
-	case "fig10":
-		return bench.RunFig10(sc, nil)
-	case "fig11":
-		return bench.RunFig11(sc.Threads, max(sc.Ops/100, 200))
-	case "fig12":
-		return bench.RunFig12(sc)
-	case "ablation-recovery":
-		return bench.RunAblationRecovery(sc)
-	case "ablation-owner-cache":
-		return bench.RunAblationOwnerCache(sc)
-	case "ablation-hwcc":
-		return bench.RunAblationHWccAccounting(sc)
-	case "ablation-disown":
-		return bench.RunAblationDisown(sc, 0)
-	case "chaos":
-		return runChaos(sc)
-	case "persist":
-		return runPersist(sc)
-	case "mttr":
-		return bench.RunMTTR(sc)
-	case "hotpath":
-		return bench.RunHotpath(sc)
-	case "obs":
-		return bench.RunObs(sc)
-	case "livechaos":
-		return runLiveChaos(sc)
-	default:
-		return nil, fmt.Errorf("unknown experiment %q", e)
+// validateFlags rejects bad experiment names and inconsistent flag
+// combinations before any experiment runs, so a long invocation cannot
+// fail halfway through on a typo that was checkable up front.
+func validateFlags(exps []string) error {
+	if len(exps) == 0 {
+		return fmt.Errorf("-exp names no experiments")
 	}
+	named := map[string]bool{}
+	for _, e := range exps {
+		if findExp(e) == nil {
+			return fmt.Errorf("unknown experiment %q", e)
+		}
+		named[e] = true
+	}
+	if persistFlags.mask != "" {
+		if persistFlags.point == "" {
+			return fmt.Errorf("-persist-mask requires -persist-point (a repro line names both)")
+		}
+		if _, err := strconv.ParseUint(persistFlags.mask, 0, 64); err != nil {
+			return fmt.Errorf("bad -persist-mask %q: %v (want hex like 0x7ff)", persistFlags.mask, err)
+		}
+		if !named["persist"] {
+			return fmt.Errorf("-persist-mask is only meaningful with -exp persist")
+		}
+	}
+	if liveFlags.replay != "" {
+		if !named["livechaos"] {
+			return fmt.Errorf("-replay is only meaningful with -exp livechaos")
+		}
+		if _, err := os.Stat(liveFlags.replay); err != nil {
+			return fmt.Errorf("-replay schedule %s: %v", liveFlags.replay, err)
+		}
+		if liveFlags.schedOut == liveFlags.replay {
+			return fmt.Errorf("-schedule-out and -replay name the same file %s", liveFlags.replay)
+		}
+	}
+	if _, err := parseRates(sloFlags.rates); err != nil {
+		return err
+	}
+	return nil
 }
 
 func print(e string, rows []bench.Row) {

@@ -1,0 +1,73 @@
+package chaos
+
+// AckOracle: the lost-ack oracle exported for out-of-package harnesses
+// (internal/server drives the same shadow-map protocol through the
+// service path that livechaos drives in-process). The wrapper exposes
+// exactly the writer-side protocol — mint a version, begin, then ack on
+// success or resolve from ground truth after a crash — plus the
+// authoritative end-of-run check; the bracketing-snapshot read
+// validation stays private to the livechaos harness, because a service
+// client validates reads by the value codec alone and leaves exactness
+// to the final sweep.
+
+// AckOracle is a per-key versioned shadow map of acknowledged writes.
+// The keyspace must be partitioned one-writer-per-key; see oracle.go
+// for the protocol.
+type AckOracle struct {
+	o *oracle
+}
+
+// NewAckOracle returns an oracle over keys [0, keys).
+func NewAckOracle(keys int) *AckOracle {
+	return &AckOracle{o: newOracle(keys)}
+}
+
+// NextVersion mints key k's next version. Caller must be k's writer.
+func (a *AckOracle) NextVersion(k int) uint64 { return a.o.nextVersion(k) }
+
+// BeginPut records an in-flight put of (k, ver).
+func (a *AckOracle) BeginPut(k int, ver uint64) {
+	a.o.begin(k, kvState{Ver: ver, Present: true})
+}
+
+// BeginDelete records an in-flight delete of k.
+func (a *AckOracle) BeginDelete(k int) {
+	a.o.begin(k, kvState{Present: false})
+}
+
+// Ack commits k's in-flight op: the store acknowledged it.
+func (a *AckOracle) Ack(k int) { a.o.ack(k) }
+
+// Resolve settles k's crashed op from ground truth: applied reports
+// whether the op's effect is visible in the recovered store.
+func (a *AckOracle) Resolve(k int, applied bool) { a.o.resolve(k, applied) }
+
+// Current returns k's settled (version, present). Only meaningful to
+// k's writer with no op in flight. Ver 0 means never written.
+func (a *AckOracle) Current(k int) (ver uint64, present bool) {
+	st := a.o.current(k)
+	return st.Ver, st.Present
+}
+
+// Final returns k's authoritative end-of-run state. settled is false if
+// an op is still unresolved — itself a run failure.
+func (a *AckOracle) Final(k int) (ver uint64, present, settled bool) {
+	st, ok := a.o.final(k)
+	return st.Ver, st.Present, ok
+}
+
+// EncodeVal renders the self-validating value for (key, ver) into dst,
+// reusing its capacity. Value sizes mix small/large/huge allocator
+// classes; see valSize.
+func EncodeVal(dst []byte, key int, ver uint64) []byte {
+	return encodeVal(dst, key, ver)
+}
+
+// DecodeVal validates buf as a value of key and returns its version; a
+// torn, stale, or cross-key value is an error, never a plausible read.
+func DecodeVal(key int, buf []byte) (uint64, error) {
+	return decodeVal(key, buf)
+}
+
+// KeyBytes renders key k's fixed 16-byte store key into dst.
+func KeyBytes(dst []byte, k int) []byte { return liveKeyBytes(dst, k) }

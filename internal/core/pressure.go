@@ -1,0 +1,36 @@
+package core
+
+// Memory-pressure watermarks (service plane). The pod's data region is
+// a fixed virtual extent (MaxSmallSlabs + MaxLargeSlabs slabs plus the
+// huge reservation regions); once every slab of a heap is mapped, an
+// allocation that misses every free list fails with ErrOutOfMemory. A
+// service front end wants to start shedding load *before* that cliff,
+// so the heap exposes its address-space occupancy as a fraction.
+//
+// The signal is deliberately the mapped-slab fraction, not live bytes:
+// mapped slabs are never unmapped, so the fraction is monotone and
+// cheap (two HWcc loads), and it is exactly the resource whose
+// exhaustion produces ErrOutOfMemory on the slab paths. A pod at 0.95
+// may still satisfy allocations from recycled blocks inside mapped
+// slabs — which is why callers treat the soft watermark as "shed
+// writes, serve reads" rather than "full", and keep the allocator's own
+// ErrOutOfMemory as the authoritative hard backstop. Huge allocations
+// draw from the reservation array instead and are not folded in; a
+// workload that is huge-dominated should size NumReservations for its
+// peak.
+
+// MemPressure reports the data-region occupancy as a fraction in
+// [0, 1]: the larger of the small- and large-heap mapped-slab
+// fractions. It is two HWcc loads — safe to call from any goroutine,
+// concurrently with running mutators, at any rate a pressure sampler
+// wants.
+func (h *Heap) MemPressure(tid int) float64 {
+	p := float64(h.small.length(tid)) / float64(h.cfg.MaxSmallSlabs)
+	if l := float64(h.large.length(tid)) / float64(h.cfg.MaxLargeSlabs); l > p {
+		p = l
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+// tinyPressureHeap builds a heap whose small heap can map only a few
+// slabs, so allocation pressure is reachable in a handful of ops.
+func tinyPressureHeap(t *testing.T) *Heap {
+	t.Helper()
+	cfg := testConfig()
+	cfg.NumThreads = 2
+	cfg.MaxSmallSlabs = 4
+	cfg.MaxLargeSlabs = 2
+	return newEnv(t, cfg, 1, 2).h
+}
+
+func TestMemPressureRisesToOOM(t *testing.T) {
+	h := tinyPressureHeap(t)
+	if p := h.MemPressure(0); p != 0 {
+		t.Fatalf("fresh heap pressure = %v, want 0", p)
+	}
+	// Fill the small heap: every allocation is one small class, so the
+	// mapped-slab count climbs monotonically toward MaxSmallSlabs.
+	last := 0.0
+	sawOOM := false
+	for i := 0; i < 1_000_000; i++ {
+		if _, err := h.Alloc(0, 512); err != nil {
+			if !errors.Is(err, ErrOutOfMemory) {
+				t.Fatalf("alloc %d: %v", i, err)
+			}
+			sawOOM = true
+			break
+		}
+		p := h.MemPressure(0)
+		if p+1e-9 < last {
+			t.Fatalf("pressure went backwards: %v -> %v", last, p)
+		}
+		last = p
+	}
+	if !sawOOM {
+		t.Fatal("never reached ErrOutOfMemory on a 4-slab heap")
+	}
+	if p := h.MemPressure(0); p != 1 {
+		t.Fatalf("pressure at OOM = %v, want 1 (all small slabs mapped)", p)
+	}
+}
+
+func TestMemPressureSafeFromForeignGoroutine(t *testing.T) {
+	h := tinyPressureHeap(t)
+	if _, err := h.Alloc(0, 512); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan float64)
+	go func() { done <- h.MemPressure(0) }() // sampler goroutine, not an attached thread
+	if p := <-done; p <= 0 || p > 1 {
+		t.Fatalf("sampled pressure = %v", p)
+	}
+}

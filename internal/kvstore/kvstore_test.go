@@ -184,3 +184,107 @@ func TestChurnBoundedFootprint(t *testing.T) {
 		t.Fatalf("footprint grew %d -> %d under constant live set", base, grown)
 	}
 }
+
+// The crash-resolution protocol (server/chaos) leans on three
+// guarantees under concurrency: PutTracked reports the allocation
+// before linking it, Linked answers whether that exact allocation is
+// the key's live node, and Sweep restores the at-most-one-live-node
+// invariant. Exercise all three against racing deleters.
+func TestPutTrackedLinkedUnderConcurrentDeletes(t *testing.T) {
+	const threads = 4
+	s, _ := newStore(1024, threads)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for d := 1; d < threads; d++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for i := 0; i < 16; i++ {
+					s.Delete(tid, []byte(fmt.Sprintf("key-%d", i)))
+				}
+			}
+		}(d)
+	}
+	var val []byte
+	for i := 0; i < 2000; i++ {
+		k := []byte(fmt.Sprintf("key-%d", i%16))
+		want := []byte(fmt.Sprintf("val-%06d", i))
+		var p alloc.Ptr
+		if err := s.PutTracked(0, k, want, func(q alloc.Ptr) { p = q }); err != nil {
+			t.Fatalf("PutTracked: %v", err)
+		}
+		if p == 0 {
+			t.Fatal("PutTracked never reported its allocation")
+		}
+		// Linked(p) must agree with visible state: if the node is still
+		// live it is THIS allocation; if a racing delete won, the key is
+		// gone (a replace by someone else is impossible: single writer).
+		linked := s.Linked(0, k, p)
+		v, ok := s.Get(0, k, val)
+		val = v
+		if linked != ok {
+			// One legal interleaving: deleted between the two probes.
+			if linked && !ok {
+				t.Fatalf("key %s: Linked true after value vanished", k)
+			}
+		}
+		if ok && string(v) != string(want) {
+			t.Fatalf("key %s = %q, want %q (single writer)", k, v, want)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	s.Drain(threads)
+}
+
+// Sweep after a simulated crashed replace: two live nodes for one key
+// (the old value and the crash-leaked new one) must collapse back to
+// one — the newest — and report the removals, with deleters racing.
+func TestSweepRestoresSingleNodeUnderConcurrentDeletes(t *testing.T) {
+	const threads = 4
+	s, _ := newStore(64, threads)
+	for round := 0; round < 200; round++ {
+		k := []byte(fmt.Sprintf("crash-%d", round%8))
+		// A normal put, then a tracked put for the same key emulating the
+		// replace path's fresh node (the store links the new node first,
+		// unlinking the old one afterwards; a crash between the two leaves
+		// both live — Sweep is the repair).
+		if err := s.Put(0, k, []byte("old")); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.PutTracked(0, k, []byte("new"), nil); err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for d := 1; d < threads; d++ {
+			wg.Add(1)
+			go func(tid int) {
+				defer wg.Done()
+				if tid%2 == 1 {
+					s.Delete(tid, []byte(fmt.Sprintf("crash-%d", (tid+round)%8)))
+				}
+				s.Sweep(tid, k)
+			}(d)
+		}
+		removed := s.Sweep(0, k)
+		wg.Wait()
+		if removed < 0 || removed > 1 {
+			t.Fatalf("round %d: Sweep removed %d nodes for one key, want 0 or 1", round, removed)
+		}
+		// Invariant after sweeping: at most one live node, and if the key
+		// is present its value is the newest.
+		if extra := s.Sweep(0, k); extra != 0 {
+			t.Fatalf("round %d: second Sweep removed %d more nodes", round, extra)
+		}
+		if v, ok := s.Get(0, k, nil); ok && string(v) != "new" {
+			t.Fatalf("round %d: survivor = %q, want the newest node", round, v)
+		}
+	}
+	s.Drain(threads)
+}

@@ -1,0 +1,33 @@
+package server
+
+import "sync/atomic"
+
+// breaker is one process group's circuit breaker. The state is derived,
+// not guessed: the group is "broken" exactly while it has zero serving
+// workers — every worker of the group died to a fault and is awaiting
+// the liveness watchdog's repair (~hundreds of ms of pod time). The
+// router skips broken groups so requests re-route to live processes
+// instead of queueing behind the repair, and the last worker to go down
+// drains the group's queue for re-routing. A repaired worker closes the
+// breaker by registering back.
+type breaker struct {
+	serving atomic.Int32
+	opens   atomic.Uint64
+}
+
+// workerUp registers a serving worker; reports whether this closed an
+// open breaker.
+func (b *breaker) workerUp() bool { return b.serving.Add(1) == 1 }
+
+// workerDown unregisters a worker; reports whether the group just went
+// dark (breaker opened).
+func (b *breaker) workerDown() bool {
+	if b.serving.Add(-1) == 0 {
+		b.opens.Add(1)
+		return true
+	}
+	return false
+}
+
+// open reports whether the group currently has no serving worker.
+func (b *breaker) open() bool { return b.serving.Load() == 0 }

@@ -1,0 +1,114 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cxlalloc/internal/xrand"
+)
+
+// Client is one connection's retry policy: a token-bucket retry budget
+// (retries are a bounded *fraction* of traffic, so retry storms cannot
+// amplify an overload), capped exponential backoff with full jitter,
+// and deadline propagation — a retry reuses the original request's
+// absolute deadline, and no retry is attempted whose backoff would
+// land past it.
+type Client struct {
+	srv *Server
+
+	// Jitter source; a client's requests may run from many goroutines
+	// (connection lanes), and jitter is only drawn on the retry path.
+	rngMu sync.Mutex
+	rng   *xrand.Rand
+
+	// Budget in centitokens: every fresh request credits creditPer, a
+	// retry spends tokenCost. The steady-state retry allowance is thus
+	// creditPer/tokenCost (20%) of request volume.
+	budget    atomic.Int64
+	maxBudget int64
+
+	BackoffBase time.Duration // first backoff (default 200µs)
+	BackoffMax  time.Duration // backoff cap (default 10ms)
+
+	retries atomic.Uint64
+}
+
+const (
+	tokenCost = 100
+	creditPer = 20
+)
+
+// NewClient creates a client over srv with a seeded jitter source.
+func NewClient(srv *Server, seed uint64) *Client {
+	c := &Client{
+		srv:         srv,
+		rng:         xrand.New(xrand.Mix(seed) ^ 0xc11e47),
+		maxBudget:   100 * tokenCost, // at most 100 banked retries
+		BackoffBase: 200 * time.Microsecond,
+		BackoffMax:  10 * time.Millisecond,
+	}
+	c.budget.Store(c.maxBudget / 10)
+	return c
+}
+
+// Retries returns how many resubmissions this client has performed.
+func (c *Client) Retries() uint64 { return c.retries.Load() }
+
+func (c *Client) credit() {
+	if b := c.budget.Add(creditPer); b > c.maxBudget {
+		c.budget.Store(c.maxBudget)
+	}
+}
+
+func (c *Client) spend() bool {
+	for {
+		b := c.budget.Load()
+		if b < tokenCost {
+			return false
+		}
+		if c.budget.CompareAndSwap(b, b-tokenCost) {
+			return true
+		}
+	}
+}
+
+// Do submits r and retries safe rejections until success, deadline,
+// budget exhaustion, or a terminal error. Only never-executed
+// rejections (and crashed reads) are retried — see Retryable — so Do
+// can never double-apply a write.
+func (c *Client) Do(r *Request) *Response {
+	c.credit()
+	for attempt := 0; ; attempt++ {
+		c.srv.Submit(r)
+		resp := r.Wait()
+		if !Retryable(resp.Err, r.Op == OpGet) {
+			return resp
+		}
+		backoff := c.BackoffBase << uint(attempt)
+		if backoff > c.BackoffMax || backoff <= 0 {
+			backoff = c.BackoffMax
+		}
+		if pf, ok := resp.Err.(*ErrPodFull); ok && pf.RetryAfter > backoff {
+			backoff = pf.RetryAfter
+		}
+		// Full jitter: uniform in [backoff/2, backoff), decorrelating the
+		// retry wave a shed burst would otherwise synchronize.
+		c.rngMu.Lock()
+		jit := c.rng.Uint64()
+		c.rngMu.Unlock()
+		backoff = backoff/2 + time.Duration(jit%uint64(backoff/2+1))
+		if time.Now().Add(backoff).After(r.deadlineWall) {
+			return resp // never retry past the deadline
+		}
+		if !c.spend() {
+			return resp // retry budget exhausted: fail fast
+		}
+		c.retries.Add(1)
+		time.Sleep(backoff)
+		if time.Now().After(r.deadlineWall) {
+			return resp
+		}
+		r.resp = Response{} // keep stamps: same absolute deadline
+	}
+}

@@ -1,0 +1,85 @@
+// Package server is the pod's KV service front end: a concurrent
+// request plane over internal/kvstore with an explicit resilience
+// layer. Requests arrive over simulated RPC connections carrying
+// arrival and deadline stamps on the pod logical clock; between
+// arrival and execution sit bounded per-process-group admission queues
+// (LIFO under overload, CoDel queue-delay shedding), circuit breakers
+// around groups the liveness watchdog is repairing, and allocator
+// memory-pressure watermarks — so saturation degrades into explicit,
+// typed rejections instead of unbounded queueing, panics, or wedged
+// workers.
+//
+// The load-shedding contract: a request that is rejected was never
+// executed, so a rejection is never an acknowledgement, and retrying
+// it is always safe. The one exception is ErrCrashed — the op died
+// mid-execution — whose response carries ground truth (Applied) once
+// the watchdog has repaired the slot and the worker has resolved the
+// op's fate against the store.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Typed rejection reasons. All are "never executed" — see the package
+// contract — except ErrCrashed.
+var (
+	// ErrQueueFull: the group's admission queue evicted this request
+	// (oldest first) to admit a newer one.
+	ErrQueueFull = errors.New("server: admission queue full")
+	// ErrCoDel: queue delay exceeded the CoDel target for a full
+	// interval; the request was dropped at dequeue.
+	ErrCoDel = errors.New("server: shed by queue-delay controller")
+	// ErrDeadlineExceeded: the deadline passed before a worker picked
+	// the request up; it was dropped unexecuted.
+	ErrDeadlineExceeded = errors.New("server: deadline exceeded before execution")
+	// ErrWriteShed: the soft memory watermark is active — writes are
+	// shed so reads keep serving from the memory already mapped.
+	ErrWriteShed = errors.New("server: write shed under memory pressure")
+	// ErrBreakerOpen: every eligible process group is mid-repair; the
+	// request was rejected rather than queued behind the watchdog.
+	ErrBreakerOpen = errors.New("server: all process groups circuit-broken")
+	// ErrCrashed: the op died mid-execution to an injected fault. The
+	// response's Applied field is ground truth for whether its effect
+	// survived, resolved after watchdog repair.
+	ErrCrashed = errors.New("server: operation crashed mid-execution")
+	// ErrStopped: the server shut down before executing the request.
+	ErrStopped = errors.New("server: stopped")
+)
+
+// ErrPodFull is the hard memory watermark (or the allocator's own
+// ErrOutOfMemory surfacing through a Put): the pod cannot take this
+// write now. It carries a Retry-After hint, and it is a typed response
+// — never a panic or a wedged worker.
+type ErrPodFull struct {
+	Pressure   float64       // mapped-slab fraction at rejection
+	RetryAfter time.Duration // hint: earliest sensible retry
+}
+
+func (e *ErrPodFull) Error() string {
+	return fmt.Sprintf("server: pod full (pressure %.2f, retry after %v)", e.Pressure, e.RetryAfter)
+}
+
+// IsPodFull reports whether err is an ErrPodFull rejection.
+func IsPodFull(err error) bool {
+	var pf *ErrPodFull
+	return errors.As(err, &pf)
+}
+
+// Retryable reports whether a rejected request may be safely
+// resubmitted: the request was never executed, so a retry cannot
+// double-apply. Deadline expiry is permanent by definition, and a
+// crashed write's fate is settled by its own response, not a retry; a
+// crashed read is idempotent and may be retried.
+func Retryable(err error, isRead bool) bool {
+	switch {
+	case err == nil || errors.Is(err, ErrDeadlineExceeded) || errors.Is(err, ErrStopped):
+		return false
+	case errors.Is(err, ErrCrashed):
+		return isRead
+	default:
+		return true
+	}
+}

@@ -1,0 +1,793 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cxlalloc"
+	"cxlalloc/internal/alloc"
+	"cxlalloc/internal/atomicx"
+	"cxlalloc/internal/chaos"
+	"cxlalloc/internal/crash"
+	"cxlalloc/internal/kvstore"
+	"cxlalloc/internal/telemetry"
+	"cxlalloc/internal/workload"
+	"cxlalloc/internal/xrand"
+)
+
+// The slo experiment: measure the service's behavior at and past
+// saturation. A closed-loop phase measures 1× capacity (and calibrates
+// the pod clock's wall rate); an open-loop sweep then offers fixed
+// multiples of that capacity — arrival-rate controlled, so a 2× point
+// really offers 2× and the admission/shedding machinery faces a real
+// standing queue, which a closed-loop driver can never produce.
+// Every write runs the lost-ack oracle protocol end to end through the
+// service path, and the run ends with the same authoritative audit as
+// livechaos: final sweep, teardown, heap invariants, empty-ledger.
+
+// SLOConfig parameterizes RunSLO/RunSLOChaos. Zero fields take the
+// defaults in DefaultSLOConfig.
+type SLOConfig struct {
+	Threads int // pod thread slots = server workers
+	Procs   int // process groups
+	Keys    int
+	Clients int // issuer connections (key partitions)
+	Seed    uint64
+
+	Deadline time.Duration // per-request budget
+	Window   time.Duration // measured window per rate point
+	Rates    []float64     // offered-load multipliers of measured capacity
+
+	QueueCap    int // per-group admission bound
+	MaxInFlight int // per-issuer connection concurrency limit
+
+	// Chaos variant only: fault pacing and the wall-clock lease target.
+	FaultEvery time.Duration
+	LeaseWall  time.Duration
+}
+
+// DefaultSLOConfig sizes a run for the CLI default (~10s total).
+func DefaultSLOConfig() SLOConfig {
+	return SLOConfig{
+		Threads:     8,
+		Procs:       4,
+		Keys:        512,
+		Clients:     16,
+		Seed:        2026,
+		Deadline:    25 * time.Millisecond,
+		Window:      1500 * time.Millisecond,
+		Rates:       []float64{0.5, 1, 2, 4},
+		// The admission queue must be smaller than the clients' combined
+		// in-flight window (Clients x MaxInFlight) or bounded-queue
+		// eviction can never engage; 64 per group also keeps worst-case
+		// sojourn (~queue/service rate) well inside the deadline.
+		QueueCap:    64,
+		MaxInFlight: 32,
+		FaultEvery:  900 * time.Millisecond,
+		LeaseWall:   400 * time.Millisecond,
+	}
+}
+
+func (c SLOConfig) withDefaults() SLOConfig {
+	d := DefaultSLOConfig()
+	if c.Threads == 0 {
+		c.Threads = d.Threads
+	}
+	if c.Procs == 0 {
+		c.Procs = d.Procs
+	}
+	if c.Keys == 0 {
+		c.Keys = d.Keys
+	}
+	if c.Clients == 0 {
+		c.Clients = d.Clients
+	}
+	if c.Seed == 0 {
+		c.Seed = d.Seed
+	}
+	if c.Deadline == 0 {
+		c.Deadline = d.Deadline
+	}
+	if c.Window == 0 {
+		c.Window = d.Window
+	}
+	if len(c.Rates) == 0 {
+		c.Rates = d.Rates
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = d.QueueCap
+	}
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = d.MaxInFlight
+	}
+	if c.FaultEvery == 0 {
+		c.FaultEvery = d.FaultEvery
+	}
+	if c.LeaseWall == 0 {
+		c.LeaseWall = d.LeaseWall
+	}
+	return c
+}
+
+func (c SLOConfig) validate() error {
+	if c.Threads < c.Procs || c.Procs < 2 {
+		return fmt.Errorf("server: slo needs Threads >= Procs >= 2 (got %d/%d)", c.Threads, c.Procs)
+	}
+	if c.Keys < 2*c.Clients {
+		return fmt.Errorf("server: slo needs Keys >= 2*Clients (got %d/%d)", c.Keys, c.Clients)
+	}
+	return nil
+}
+
+// SLOPoint is one offered-load level's measurements.
+type SLOPoint struct {
+	Mult       float64       `json:"mult"`
+	TargetRate float64       `json:"target_rate"` // offered ops/sec
+	Elapsed    time.Duration `json:"elapsed"`
+
+	Offered     uint64 `json:"offered"`      // arrivals fired
+	ClientDrops uint64 `json:"client_drops"` // arrivals past the connection limit
+	Acked       uint64 `json:"acked"`        // Err == nil responses
+	Good        uint64 `json:"good"`         // acked within deadline
+
+	Goodput float64       `json:"goodput"` // good per second
+	P50     time.Duration `json:"p50"`     // acked latency quantiles
+	P99     time.Duration `json:"p99"`
+	P999    time.Duration `json:"p999"`
+
+	Server   telemetry.ServerStats `json:"server"` // delta over the point
+	Retries  uint64                `json:"retries"`
+	TotalShed uint64               `json:"total_shed"`
+}
+
+// SLOReport is one run's full outcome.
+type SLOReport struct {
+	Threads, Procs, Keys, Clients int
+	Seed                          uint64
+	Deadline, Window              time.Duration
+
+	Capacity  float64 // closed-loop acked ops/sec
+	TickRate  float64 // calibrated pod ticks/sec
+	Points    []SLOPoint
+	ChaosPoint *SLOPoint // RunSLOChaos: the fault-injected point
+
+	// Chaos variant.
+	Kills, ProcKills int
+	FalseTakeovers   uint64
+
+	PendingAllocs int
+	Violations    []string
+	LostAcks      []string
+}
+
+// SLOGates is the run's pass/fail summary.
+type SLOGates struct {
+	ZeroViolations bool // heap invariants, codec integrity, settled oracle
+	ZeroLostAcks   bool // no acked write lost
+	GoodputOK      bool // goodput at the >=2x point >= 80% of capacity
+	P99Bounded     bool // acked p99 at the >=2x point <= 2x deadline
+	ShedEngaged    bool // top rate point shed > 0
+	BreakerEngaged bool // chaos variant: breaker opened during kills
+}
+
+// Gates evaluates the report. chaos selects the RunSLOChaos gate set
+// (breaker engagement instead of the overload sweep gates).
+func (r *SLOReport) Gates(isChaos bool) SLOGates {
+	g := SLOGates{
+		ZeroViolations: len(r.Violations) == 0,
+		ZeroLostAcks:   len(r.LostAcks) == 0,
+	}
+	if isChaos {
+		g.GoodputOK, g.P99Bounded, g.ShedEngaged = true, true, true
+		if r.ChaosPoint != nil {
+			g.BreakerEngaged = r.ChaosPoint.Server.BreakerOpens > 0
+		}
+		g.ZeroLostAcks = g.ZeroLostAcks && r.FalseTakeovers == 0
+		return g
+	}
+	g.BreakerEngaged = true
+	var gate, top *SLOPoint
+	for i := range r.Points {
+		p := &r.Points[i]
+		if p.Mult >= 2 && gate == nil {
+			gate = p
+		}
+		if top == nil || p.Mult > top.Mult {
+			top = p
+		}
+	}
+	if gate != nil {
+		g.GoodputOK = r.Capacity > 0 && gate.Goodput >= 0.8*r.Capacity
+		g.P99Bounded = gate.P99 > 0 && gate.P99 <= 2*r.Deadline
+	}
+	if top != nil && top.Mult >= 2 {
+		g.ShedEngaged = top.TotalShed > 0
+	}
+	return g
+}
+
+// Ok reports whether every gate passed.
+func (g SLOGates) Ok() bool {
+	return g.ZeroViolations && g.ZeroLostAcks && g.GoodputOK && g.P99Bounded && g.ShedEngaged && g.BreakerEngaged
+}
+
+// --- run state -------------------------------------------------------
+
+type pointTally struct {
+	offered, clientDrops atomic.Uint64
+	acked, good          atomic.Uint64
+
+	mu   sync.Mutex
+	hist *telemetry.Hist
+}
+
+func newPointTally() *pointTally { return &pointTally{hist: new(telemetry.Hist)} }
+
+func (t *pointTally) observe(d time.Duration) {
+	t.mu.Lock()
+	t.hist.Observe(d)
+	t.mu.Unlock()
+}
+
+type sloRun struct {
+	cfg   SLOConfig
+	pod   *cxlalloc.Pod
+	procs []*cxlalloc.Process
+	store *kvstore.Store
+	srv   *Server
+	orc   *chaos.AckOracle
+	inj   *crash.Injector
+
+	issuers []*sloIssuer
+
+	gateMu     sync.Mutex
+	violations []string
+	lostAcks   []string
+
+	orphMu  sync.Mutex
+	orphans []cxlalloc.Ptr
+}
+
+func (r *sloRun) violation(msg string) {
+	r.gateMu.Lock()
+	if len(r.violations) < 64 {
+		r.violations = append(r.violations, msg)
+	}
+	r.gateMu.Unlock()
+}
+
+func (r *sloRun) lostAck(msg string) {
+	r.gateMu.Lock()
+	if len(r.lostAcks) < 64 {
+		r.lostAcks = append(r.lostAcks, msg)
+	}
+	r.gateMu.Unlock()
+}
+
+// build constructs the pod, store, oracle, and issuers. inj may be nil
+// (the fault-free sweep).
+func buildSLORun(cfg SLOConfig, inj *crash.Injector) (*sloRun, error) {
+	pc := cxlalloc.DefaultConfig()
+	pc.NumThreads = cfg.Threads
+	// Headroom matters: MemPressure is the mapped-slab high-water
+	// fraction, so the steady-state working set (keys x codec value
+	// sizes) must sit well under the soft watermark or the server sheds
+	// writes even when healthy. 512 codec keys peak near 15 large
+	// slabs; 4x that keeps honest runs under ~0.30 pressure.
+	pc.MaxSmallSlabs = 256
+	pc.MaxLargeSlabs = 64
+	pc.HugeRegionSize = 1 << 20
+	pc.NumReservations = 8
+	pc.DescsPerThread = 16
+	pc.NumHazards = 8
+	pc.UnsizedThreshold = 2
+	pc.Mode = atomicx.ModeMCAS
+	if inj != nil {
+		pc.Crash = inj
+		pc.TrackPersist = true
+	}
+	r := &sloRun{cfg: cfg, inj: inj, orc: chaos.NewAckOracle(cfg.Keys)}
+	pod, err := cxlalloc.NewPodWith(cxlalloc.PodConfig{
+		Config:      pc,
+		AutoRecover: true,
+		// Effectively infinite lease; the chaos variant retunes after
+		// calibration, the fault-free sweep never needs expiry.
+		Liveness: cxlalloc.LivenessConfig{RenewInterval: 4, GraceMult: 1 << 38, PollInterval: 4},
+		OnEvent: func(ev cxlalloc.LivenessEvent) {
+			if ev.Kind == cxlalloc.LivenessRepair && ev.Report.PendingAlloc != 0 {
+				r.orphMu.Lock()
+				r.orphans = append(r.orphans, ev.Report.PendingAlloc)
+				r.orphMu.Unlock()
+			}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.pod = pod
+	r.procs = make([]*cxlalloc.Process, cfg.Procs)
+	for i := range r.procs {
+		r.procs[i] = pod.NewProcess()
+	}
+	for tid := 0; tid < cfg.Threads; tid++ {
+		if _, err := r.procs[tid%cfg.Procs].AttachThreadID(tid); err != nil {
+			return nil, err
+		}
+	}
+	r.store = kvstore.New(alloc.NewCXL(pod.Heap(), "cxlalloc"), cfg.Keys*2, cfg.Threads)
+
+	keysPer := cfg.Keys / cfg.Clients
+	for i := 0; i < cfg.Clients; i++ {
+		is := &sloIssuer{
+			run:     r,
+			id:      i,
+			keysPer: keysPer,
+			rng:     xrand.New(xrand.Mix(cfg.Seed) ^ xrand.Mix(uint64(i)+0x51)),
+			busy:    make(map[int]bool),
+			pool:    make(chan *Request, cfg.MaxInFlight),
+		}
+		is.zipfAll = xrand.NewZipf(is.rng, uint64(cfg.Keys), 0.99)
+		is.zipfOwn = xrand.NewZipf(is.rng, uint64(keysPer), 0.99)
+		for j := 0; j < cfg.MaxInFlight; j++ {
+			is.pool <- NewRequest()
+		}
+		r.issuers = append(r.issuers, is)
+	}
+	return r, nil
+}
+
+// startServer builds and starts the front end over the run's pod.
+func (r *sloRun) startServer() {
+	groups := make([][]int, r.cfg.Procs)
+	for tid := 0; tid < r.cfg.Threads; tid++ {
+		g := tid % r.cfg.Procs
+		groups[g] = append(groups[g], tid)
+	}
+	r.srv = New(Config{
+		Pod:       r.pod,
+		Store:     r.store,
+		Groups:    groups,
+		QueueCap:  r.cfg.QueueCap,
+		DecodeVer: chaos.DecodeVal,
+	})
+	for _, is := range r.issuers {
+		is.client = NewClient(r.srv, r.cfg.Seed^uint64(is.id)*0xa0761d6478bd642f)
+	}
+}
+
+// preload fills half the keyspace through the store directly (tid 0),
+// with the oracle tracking every acked write.
+func (r *sloRun) preload() error {
+	th, err := r.pod.ThreadOf(0)
+	if err != nil {
+		return err
+	}
+	var keyb, valb []byte
+	for k := 0; k < r.cfg.Keys/2; k++ {
+		ver := r.orc.NextVersion(k)
+		keyb = chaos.KeyBytes(keyb, k)
+		valb = chaos.EncodeVal(valb, k, ver)
+		r.orc.BeginPut(k, ver)
+		var perr error
+		if c := th.Run(func() { perr = r.store.Put(0, keyb, valb) }); c != nil {
+			return fmt.Errorf("server: preload crashed at %s", c.Point)
+		}
+		if perr != nil {
+			return fmt.Errorf("server: preload key %d: %w", k, perr)
+		}
+		r.orc.Ack(k)
+	}
+	return nil
+}
+
+// --- issuers ---------------------------------------------------------
+
+type sloIssuer struct {
+	run     *sloRun
+	id      int
+	keysPer int
+	rng     *xrand.Rand
+	zipfAll *xrand.Zipf
+	zipfOwn *xrand.Zipf
+	client  *Client
+
+	pool chan *Request
+
+	// prepare draws from the issuer's rng/zipf state; capacity-phase
+	// lanes share the issuer, so draws serialize.
+	prepMu sync.Mutex
+
+	busyMu sync.Mutex
+	busy   map[int]bool
+}
+
+func (is *sloIssuer) ownKey(j int) int { return j*len(is.run.issuers) + is.id }
+
+// prepare draws the next YCSB-shaped op into req: zipfian key
+// popularity, 50% reads over the whole keyspace, 50% writes on the
+// issuer's own partition (single-writer-per-key for the oracle), with
+// ~30% of writes on present keys issued as deletes. Writes landing
+// only on busy keys degrade to reads, keeping the offered rate intact.
+func (is *sloIssuer) prepare(req *Request) {
+	is.prepMu.Lock()
+	defer is.prepMu.Unlock()
+	req.Reset()
+	req.Deadline = is.run.cfg.Deadline
+	asRead := func(k int) {
+		req.Op = OpGet
+		req.KeyID = k
+		req.Key = chaos.KeyBytes(req.Key, k)
+	}
+	if is.rng.Intn(100) < 50 {
+		asRead(int(is.zipfAll.NextScrambled()))
+		return
+	}
+	k := -1
+	for try := 0; try < 4; try++ {
+		cand := is.ownKey(int(is.zipfOwn.NextScrambled()))
+		is.busyMu.Lock()
+		if !is.busy[cand] {
+			is.busy[cand] = true
+			is.busyMu.Unlock()
+			k = cand
+			break
+		}
+		is.busyMu.Unlock()
+	}
+	if k < 0 {
+		asRead(int(is.zipfAll.NextScrambled()))
+		return
+	}
+	req.KeyID = k
+	req.Key = chaos.KeyBytes(req.Key, k)
+	ver, present := is.run.orc.Current(k)
+	if present && is.rng.Intn(100) < 30 {
+		req.Op = OpDelete
+		req.PrevVer = ver
+		is.run.orc.BeginDelete(k)
+		return
+	}
+	nv := is.run.orc.NextVersion(k)
+	req.Op = OpPut
+	req.Val = chaos.EncodeVal(req.Val, k, nv)
+	is.run.orc.BeginPut(k, nv)
+}
+
+// finalize settles one response: latency accounting, oracle
+// ack/resolve, read validation, and busy-key release.
+func (is *sloIssuer) finalize(req *Request, fired time.Time, resp *Response, t *pointTally) {
+	r := is.run
+	k := req.KeyID
+	isWrite := req.Op != OpGet
+	switch {
+	case resp.Err == nil:
+		lat := resp.DoneWall.Sub(fired)
+		t.observe(lat)
+		t.acked.Add(1)
+		if lat <= r.cfg.Deadline {
+			t.good.Add(1)
+		}
+		if isWrite {
+			if req.Op == OpDelete && !resp.Found {
+				r.lostAck(fmt.Sprintf("key %d: acked ver %d vanished before delete", k, req.PrevVer))
+			}
+			r.orc.Ack(k)
+		} else if resp.Found {
+			if _, err := chaos.DecodeVal(k, resp.Value); err != nil {
+				r.violation(fmt.Sprintf("key %d: read corrupt: %v", k, err))
+			}
+		}
+	case errors.Is(resp.Err, ErrCrashed):
+		if isWrite {
+			r.orc.Resolve(k, resp.Applied)
+		}
+	default:
+		// Typed rejection: the op never executed.
+		if isWrite {
+			r.orc.Resolve(k, false)
+		}
+	}
+	if isWrite {
+		is.busyMu.Lock()
+		delete(is.busy, k)
+		is.busyMu.Unlock()
+	}
+}
+
+// closedLoop drives every issuer back-to-back for the window (the
+// capacity phase). Each issuer runs several lanes so the pool of
+// outstanding requests comfortably saturates the workers — capacity
+// must be the service's real ceiling, or the sweep's "2x" point is not
+// actually overload.
+func (r *sloRun) closedLoop(window time.Duration) *pointTally {
+	t := newPointTally()
+	lanes := 8
+	if lanes > r.cfg.MaxInFlight {
+		lanes = r.cfg.MaxInFlight
+	}
+	deadline := time.Now().Add(window)
+	var wg sync.WaitGroup
+	for _, is := range r.issuers {
+		for l := 0; l < lanes; l++ {
+			wg.Add(1)
+			go func(is *sloIssuer) {
+				defer wg.Done()
+				req := <-is.pool
+				for time.Now().Before(deadline) {
+					is.prepare(req)
+					t.offered.Add(1)
+					fired := time.Now()
+					resp := is.client.Do(req)
+					is.finalize(req, fired, resp, t)
+				}
+				is.pool <- req
+			}(is)
+		}
+	}
+	wg.Wait()
+	return t
+}
+
+// openLoop offers rate ops/sec for the window: arrivals are paced by a
+// seeded Poisson process per issuer, independent of response latency —
+// the load does not slow down because the service did. Each issuer owns
+// MaxInFlight persistent lanes (its connection limit); an arrival that
+// finds every lane busy and the fire buffer full is a client-side
+// drop, counted against goodput like any other failure. The pacer
+// wakes on a coarse quantum and fires everything due, so pacing costs
+// a bounded number of wakeups rather than one per arrival.
+func (r *sloRun) openLoop(rate float64, window time.Duration, salt uint64) (*pointTally, time.Duration) {
+	t := newPointTally()
+	per := rate / float64(len(r.issuers))
+	start := time.Now()
+	stop := start.Add(window)
+	var wg sync.WaitGroup
+	for i, is := range r.issuers {
+		fire := make(chan time.Time, r.cfg.MaxInFlight)
+		var lanes sync.WaitGroup
+		for l := 0; l < r.cfg.MaxInFlight; l++ {
+			lanes.Add(1)
+			go func() {
+				defer lanes.Done()
+				req := <-is.pool
+				for fired := range fire {
+					is.prepare(req)
+					resp := is.client.Do(req)
+					is.finalize(req, fired, resp, t)
+				}
+				is.pool <- req
+			}()
+		}
+		wg.Add(1)
+		go func(i int, is *sloIssuer, fire chan time.Time) {
+			defer wg.Done()
+			arr := workload.NewArrivals(xrand.Mix(r.cfg.Seed^salt)+uint64(i), per)
+			next := time.Now()
+			for {
+				now := time.Now()
+				if now.After(stop) {
+					break
+				}
+				for !next.After(now) {
+					next = next.Add(arr.Next())
+					t.offered.Add(1)
+					select {
+					case fire <- now:
+					default:
+						t.clientDrops.Add(1)
+					}
+				}
+				sleep := next.Sub(now)
+				if sleep > time.Millisecond {
+					sleep = time.Millisecond
+				} else if sleep < 50*time.Microsecond {
+					sleep = 50 * time.Microsecond
+				}
+				time.Sleep(sleep)
+			}
+			close(fire)
+			lanes.Wait()
+		}(i, is, fire)
+	}
+	wg.Wait()
+	return t, time.Since(start)
+}
+
+func (r *sloRun) retriesNow() uint64 {
+	var n uint64
+	for _, is := range r.issuers {
+		n += is.client.Retries()
+	}
+	return n
+}
+
+func totalShed(s telemetry.ServerStats) uint64 {
+	return s.ShedQueueFull + s.ShedCoDel + s.ShedDeadline + s.ShedWrite + s.ShedPodFull + s.ShedBreaker
+}
+
+// summarize folds a tally plus the stat deltas into a point.
+func (r *sloRun) summarize(mult, rate float64, t *pointTally, elapsed time.Duration, s0 telemetry.ServerStats, r0 uint64) SLOPoint {
+	sd := statsDelta(r.srv.Stats(), s0)
+	p := SLOPoint{
+		Mult:        mult,
+		TargetRate:  rate,
+		Elapsed:     elapsed,
+		Offered:     t.offered.Load(),
+		ClientDrops: t.clientDrops.Load(),
+		Acked:       t.acked.Load(),
+		Good:        t.good.Load(),
+		Server:      sd,
+		Retries:     r.retriesNow() - r0,
+		TotalShed:   totalShed(sd),
+	}
+	if elapsed > 0 {
+		p.Goodput = float64(p.Good) / elapsed.Seconds()
+	}
+	t.mu.Lock()
+	p.P50 = time.Duration(t.hist.Quantile(0.50))
+	p.P99 = time.Duration(t.hist.Quantile(0.99))
+	p.P999 = time.Duration(t.hist.Quantile(0.999))
+	t.mu.Unlock()
+	return p
+}
+
+func statsDelta(s, prev telemetry.ServerStats) telemetry.ServerStats {
+	full := telemetry.Snapshot{Server: s}.Delta(telemetry.Snapshot{Server: prev})
+	return full.Server
+}
+
+// audit is the end-of-run authoritative check, identical in spirit to
+// livechaos: stop the server, sweep every key against the oracle's
+// settled state, tear the store down, and audit the heap ledger back
+// to empty.
+func (r *sloRun) audit(rep *SLOReport) {
+	r.srv.Stop()
+	cfg := r.cfg
+	heap := r.pod.Heap()
+	var keyb, getb []byte
+	for k := 0; k < cfg.Keys; k++ {
+		ver, present, settled := r.orc.Final(k)
+		if !settled {
+			r.violation(fmt.Sprintf("key %d: op still unresolved at audit", k))
+			continue
+		}
+		keyb = chaos.KeyBytes(keyb, k)
+		got, found := r.store.Get(0, keyb, getb)
+		getb = got
+		if !found {
+			if present {
+				r.lostAck(fmt.Sprintf("final: key %d acked ver %d missing", k, ver))
+			}
+			continue
+		}
+		v, err := chaos.DecodeVal(k, got)
+		if err != nil {
+			r.violation(fmt.Sprintf("final: key %d corrupt: %v", k, err))
+			continue
+		}
+		if !present || v != ver {
+			r.lostAck(fmt.Sprintf("final: key %d has ver %d, oracle has {ver %d present %v}", k, v, ver, present))
+		}
+	}
+	for k := 0; k < cfg.Keys; k++ {
+		keyb = chaos.KeyBytes(keyb, k)
+		for r.store.Delete(0, keyb) {
+		}
+	}
+	r.orphMu.Lock()
+	orphans := r.orphans
+	r.orphMu.Unlock()
+	rep.PendingAllocs = len(orphans)
+	for _, p := range orphans {
+		r.store.FreeOrphan(0, p)
+	}
+	r.store.Drain(cfg.Threads)
+	for round := 0; round < 3; round++ {
+		for tid := 0; tid < cfg.Threads; tid++ {
+			heap.Maintain(tid)
+		}
+	}
+	heap.PublishStats()
+	if err := heap.CheckAll(0); err != nil {
+		r.violation(fmt.Sprintf("invariants: %v", err))
+	}
+	heap.DrainCaches()
+	if err := heap.AuditEmpty(0); err != nil {
+		r.violation(fmt.Sprintf("ledger audit: %v", err))
+	}
+	r.gateMu.Lock()
+	rep.Violations = r.violations
+	rep.LostAcks = r.lostAcks
+	r.gateMu.Unlock()
+}
+
+// RunSLO executes the fault-free overload sweep.
+func RunSLO(cfg SLOConfig) (*SLOReport, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r, err := buildSLORun(cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.preload(); err != nil {
+		return nil, err
+	}
+	r.startServer()
+	rep := &SLOReport{
+		Threads: cfg.Threads, Procs: cfg.Procs, Keys: cfg.Keys, Clients: cfg.Clients,
+		Seed: cfg.Seed, Deadline: cfg.Deadline, Window: cfg.Window,
+	}
+
+	// Capacity phase: closed loop, also the pod-clock calibration.
+	heap := r.pod.Heap()
+	c0, t0 := heap.ClockNow(0), time.Now()
+	capT := r.closedLoop(cfg.Window)
+	c1, t1 := heap.ClockNow(0), time.Now()
+	capWall := t1.Sub(t0)
+	if capWall > 0 {
+		rep.Capacity = float64(capT.acked.Load()) / capWall.Seconds()
+		rep.TickRate = float64(c1-c0) / capWall.Seconds()
+		r.srv.SetTickRate(rep.TickRate)
+	}
+	if rep.Capacity == 0 {
+		r.audit(rep)
+		return rep, fmt.Errorf("server: slo capacity phase acked nothing")
+	}
+
+	// Open-loop sweep.
+	for pi, mult := range cfg.Rates {
+		rate := mult * rep.Capacity
+		s0, r0 := r.srv.Stats(), r.retriesNow()
+		t, elapsed := r.openLoop(rate, cfg.Window, uint64(pi)+0x510)
+		rep.Points = append(rep.Points, r.summarize(mult, rate, t, elapsed, s0, r0))
+	}
+
+	r.audit(rep)
+	return rep, nil
+}
+
+// FormatSLOReport renders a human-readable summary.
+func FormatSLOReport(r *SLOReport, isChaos bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "slo: threads=%d procs=%d keys=%d clients=%d seed=%d deadline=%v window=%v\n",
+		r.Threads, r.Procs, r.Keys, r.Clients, r.Seed, r.Deadline, r.Window)
+	fmt.Fprintf(&b, "  capacity %.0f ops/sec (closed loop), pod clock %.0f ticks/sec\n", r.Capacity, r.TickRate)
+	row := func(tag string, p *SLOPoint) {
+		fmt.Fprintf(&b, "  %-6s offered %8.0f/s  goodput %8.0f/s  p50 %8v  p99 %8v  p999 %8v\n",
+			tag, p.TargetRate, p.Goodput, p.P50.Round(time.Microsecond), p.P99.Round(time.Microsecond), p.P999.Round(time.Microsecond))
+		s := p.Server
+		fmt.Fprintf(&b, "         shed %d (queue %d, codel %d, deadline %d, write %d, podfull %d, breaker %d)  retries %d  drops %d\n",
+			p.TotalShed, s.ShedQueueFull, s.ShedCoDel, s.ShedDeadline, s.ShedWrite, s.ShedPodFull, s.ShedBreaker, p.Retries, p.ClientDrops)
+		if s.BreakerOpens > 0 || s.WorkerCrashes > 0 {
+			fmt.Fprintf(&b, "         breaker opens %d, reroutes %d, worker crashes %d, crash resolves %d\n",
+				s.BreakerOpens, s.BreakerReroutes, s.WorkerCrashes, s.CrashResolves)
+		}
+	}
+	for i := range r.Points {
+		p := &r.Points[i]
+		row(fmt.Sprintf("%.2gx", p.Mult), p)
+	}
+	if r.ChaosPoint != nil {
+		row("chaos", r.ChaosPoint)
+		fmt.Fprintf(&b, "  faults: %d thread kills, %d proc kills, false takeovers %d\n", r.Kills, r.ProcKills, r.FalseTakeovers)
+	}
+	if r.PendingAllocs > 0 {
+		fmt.Fprintf(&b, "  pending allocs adopted from repairs: %d\n", r.PendingAllocs)
+	}
+	g := r.Gates(isChaos)
+	fmt.Fprintf(&b, "  gates: violations=%d lostAcks=%d goodputOK=%v p99Bounded=%v shedEngaged=%v breakerEngaged=%v => ok=%v\n",
+		len(r.Violations), len(r.LostAcks), g.GoodputOK, g.P99Bounded, g.ShedEngaged, g.BreakerEngaged, g.Ok())
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "  VIOLATION: %s\n", v)
+	}
+	for _, v := range r.LostAcks {
+		fmt.Fprintf(&b, "  LOST ACK: %s\n", v)
+	}
+	return b.String()
+}

@@ -1,0 +1,193 @@
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"cxlalloc"
+	"cxlalloc/internal/crash"
+	"cxlalloc/internal/xrand"
+)
+
+// RunSLOChaos is the resilience half of the slo experiment: the same
+// service and oracle-tracked traffic, run at 2x measured capacity while
+// whole process groups are killed out from under it. Kills follow the
+// livechaos crash model — victims are armed and die inside their own
+// operations, never marked crashed out of band — and recovery is
+// watchdog-only: the harness never repairs anything, it only checks
+// that the breaker opened (requests re-routed to live processes instead
+// of queueing behind the ~lease-length repair), that every acked write
+// survived, and that the heap ledger audits back to empty.
+const (
+	sloArmProb    = 0.02             // per-crash-point firing probability
+	sloKillWait   = 15 * time.Second // arming -> death deadline per fault
+	sloRepairWait = 60 * time.Second // convergence deadline after traffic
+	sloTailGrace  = 1 * time.Second  // stop injecting this early
+)
+
+// RunSLOChaos executes the fault-injected run.
+func RunSLOChaos(cfg SLOConfig) (*SLOReport, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	inj := crash.NewInjector()
+	r, err := buildSLORun(cfg, inj)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.preload(); err != nil {
+		return nil, err
+	}
+	r.startServer()
+	rep := &SLOReport{
+		Threads: cfg.Threads, Procs: cfg.Procs, Keys: cfg.Keys, Clients: cfg.Clients,
+		Seed: cfg.Seed, Deadline: cfg.Deadline, Window: cfg.Window,
+	}
+
+	// Phase 1 — capacity + clock calibration under the infinite lease.
+	heap := r.pod.Heap()
+	c0, t0 := heap.ClockNow(0), time.Now()
+	capT := r.closedLoop(cfg.Window)
+	c1, t1 := heap.ClockNow(0), time.Now()
+	capWall := t1.Sub(t0)
+	if capWall > 0 {
+		rep.Capacity = float64(capT.acked.Load()) / capWall.Seconds()
+		rep.TickRate = float64(c1-c0) / capWall.Seconds()
+	}
+	if rep.Capacity == 0 {
+		r.audit(rep)
+		return rep, fmt.Errorf("server: slochaos capacity phase acked nothing")
+	}
+
+	// Quiesce point: RetuneLiveness requires no thread inside Run, and
+	// Server.Stop waiting out its workers is exactly that barrier. The
+	// fault phase then runs a fresh server over the same pod and store,
+	// with the lease retuned from ticks-per-wall-second so expiry-based
+	// takeover lands near the configured wall target.
+	r.srv.Stop()
+	leaseTicks := uint64(rep.TickRate * cfg.LeaseWall.Seconds())
+	if leaseTicks < 4096 {
+		leaseTicks = 4096 // floor: never a lease of a handful of ops
+	}
+	r.pod.RetuneLiveness(cxlalloc.LivenessConfig{RenewInterval: 4, GraceMult: leaseTicks / 4, PollInterval: 4})
+	for tid := 0; tid < cfg.Threads; tid++ {
+		if th, err := r.pod.ThreadOf(tid); err == nil {
+			th.Run(func() {}) // settle: one renewal under the new lease
+		}
+	}
+	r.startServer()
+	r.srv.SetTickRate(rep.TickRate)
+
+	// Phase 2 — open loop at 2x capacity with group kills in parallel.
+	window := 2 * cfg.Window
+	s0, r0 := r.srv.Stats(), r.retriesNow()
+	injDone := make(chan struct{})
+	go func() {
+		defer close(injDone)
+		r.injectFaults(rep, window)
+	}()
+	t, elapsed := r.openLoop(2*rep.Capacity, window, 0xc4a05)
+	<-injDone
+	p := r.summarize(2, 2*rep.Capacity, t, elapsed, s0, r0)
+	rep.ChaosPoint = &p
+
+	// Phase 3 — convergence: traffic has drained; the workers' idle
+	// ticks keep the watchdog advancing until every slot is repaired.
+	convDeadline := time.Now().Add(sloRepairWait)
+	for {
+		allLive := true
+		for tid := 0; tid < cfg.Threads; tid++ {
+			if !heap.Alive(tid) || !heap.Leased(tid) {
+				allLive = false
+				break
+			}
+		}
+		if allLive {
+			break
+		}
+		if time.Now().After(convDeadline) {
+			for tid := 0; tid < cfg.Threads; tid++ {
+				if !heap.Alive(tid) || !heap.Leased(tid) {
+					r.violation(fmt.Sprintf("convergence: slot %d not alive+leased after %v", tid, sloRepairWait))
+				}
+			}
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	rep.FalseTakeovers = r.pod.FalseTakeovers()
+	r.audit(rep)
+	return rep, nil
+}
+
+// injectFaults kills one whole process group roughly every FaultEvery:
+// every live tid of the group is armed and dies inside its own op, so
+// the group goes fully dark and the breaker must open. The first fault
+// escalates to a process kill once the group owns no live slot. Groups
+// are skipped when killing them would leave fewer than 2 live slots
+// pod-wide (someone has to run the watchdog).
+func (r *sloRun) injectFaults(rep *SLOReport, window time.Duration) {
+	cfg := r.cfg
+	heap := r.pod.Heap()
+	grace := sloTailGrace
+	if grace > window/4 {
+		grace = window / 4
+	}
+	stop := time.Now().Add(window - grace)
+	for i := 0; time.Now().Before(stop); i++ {
+		time.Sleep(cfg.FaultEvery)
+		if !time.Now().Before(stop) {
+			return
+		}
+		g := i % cfg.Procs
+		var targets []int
+		alive := 0
+		for tid := 0; tid < cfg.Threads; tid++ {
+			if !heap.Alive(tid) {
+				continue
+			}
+			alive++
+			if tid%cfg.Procs == g {
+				targets = append(targets, tid)
+			}
+		}
+		if len(targets) == 0 || alive-len(targets) < 2 {
+			continue
+		}
+		r.inj.ArmRandom(sloArmProb, xrand.Mix(cfg.Seed)^xrand.Mix(uint64(i)+0xfa11), targets...)
+		died := make(map[int]bool, len(targets))
+		deadline := time.Now().Add(sloKillWait)
+		for {
+			for _, v := range targets {
+				if !died[v] && !heap.Alive(v) {
+					died[v] = true
+				}
+			}
+			if len(died) == len(targets) || time.Now().After(deadline) || !time.Now().Before(stop.Add(grace)) {
+				break
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+		r.inj.Disarm()
+		rep.Kills += len(died)
+		if i == 0 && len(died) == len(targets) {
+			// Escalate to a process kill, livechaos-style: only once the
+			// process owns no live slot (adoption may have rebound repaired
+			// slots into it — if so, leave it be; the thread kills alone
+			// already opened the breaker).
+			p := r.procs[g]
+			owned := 0
+			for tid := 0; tid < cfg.Threads; tid++ {
+				if heap.Alive(tid) && r.pod.OwnerOf(tid) == p {
+					owned++
+				}
+			}
+			if !p.Dead() && owned == 0 {
+				r.pod.KillProcess(p)
+				rep.ProcKills++
+			}
+		}
+	}
+}

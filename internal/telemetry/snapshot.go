@@ -23,6 +23,7 @@ type Snapshot struct {
 	Chaos    ChaosStats    `json:"chaos"`
 	Liveness LivenessStats `json:"liveness"`
 	Trace    TraceStats    `json:"trace"`
+	Server   ServerStats   `json:"server"`
 }
 
 // CacheStats aggregates the SWcc cache protocol counters
@@ -97,6 +98,34 @@ type TraceStats struct {
 	Dropped  uint64 `json:"dropped"`
 }
 
+// ServerStats is the KV service front end's resilience ledger
+// (internal/server): admission, shedding, breaker, and crash-recovery
+// counters. Zero outside server-driven runs — the heap cannot fill it;
+// server.(*Server).Stats() is the producer and overlays it onto a pod
+// snapshot for unified metrics output.
+type ServerStats struct {
+	Submitted uint64 `json:"submitted"` // requests presented to admission
+	Admitted  uint64 `json:"admitted"`  // requests enqueued for a worker
+	Executed  uint64 `json:"executed"`  // requests that ran against the store
+
+	// Shedding, by reason. A shed request was never executed, so a shed
+	// response is never an acknowledgement.
+	ShedQueueFull uint64 `json:"shed_queue_full"` // bounded-queue eviction (oldest first)
+	ShedCoDel     uint64 `json:"shed_codel"`      // CoDel queue-delay drop at dequeue
+	ShedDeadline  uint64 `json:"shed_deadline"`   // deadline already expired at dequeue
+	ShedWrite     uint64 `json:"shed_write"`      // soft memory watermark: writes rejected
+	ShedPodFull   uint64 `json:"shed_pod_full"`   // hard memory watermark or allocator OOM
+	ShedBreaker   uint64 `json:"shed_breaker"`    // every eligible process group's breaker open
+
+	// Circuit breaker around watchdog-repaired process groups.
+	BreakerOpens    uint64 `json:"breaker_opens"`    // closed->open transitions
+	BreakerReroutes uint64 `json:"breaker_reroutes"` // requests routed around an open group
+
+	// Worker crash handling (injected faults through the service path).
+	WorkerCrashes uint64 `json:"worker_crashes"` // ops that died mid-execution
+	CrashResolves uint64 `json:"crash_resolves"` // crashed ops settled after repair
+}
+
 // FillTrace populates s.Trace from the installed tracer (if any).
 func (s *Snapshot) FillTrace() {
 	if t := Active(); t != nil {
@@ -161,6 +190,21 @@ func (s Snapshot) Delta(prev Snapshot) Snapshot {
 			Enabled:  s.Trace.Enabled,
 			Recorded: s.Trace.Recorded - prev.Trace.Recorded,
 			Dropped:  s.Trace.Dropped - prev.Trace.Dropped,
+		},
+		Server: ServerStats{
+			Submitted:       s.Server.Submitted - prev.Server.Submitted,
+			Admitted:        s.Server.Admitted - prev.Server.Admitted,
+			Executed:        s.Server.Executed - prev.Server.Executed,
+			ShedQueueFull:   s.Server.ShedQueueFull - prev.Server.ShedQueueFull,
+			ShedCoDel:       s.Server.ShedCoDel - prev.Server.ShedCoDel,
+			ShedDeadline:    s.Server.ShedDeadline - prev.Server.ShedDeadline,
+			ShedWrite:       s.Server.ShedWrite - prev.Server.ShedWrite,
+			ShedPodFull:     s.Server.ShedPodFull - prev.Server.ShedPodFull,
+			ShedBreaker:     s.Server.ShedBreaker - prev.Server.ShedBreaker,
+			BreakerOpens:    s.Server.BreakerOpens - prev.Server.BreakerOpens,
+			BreakerReroutes: s.Server.BreakerReroutes - prev.Server.BreakerReroutes,
+			WorkerCrashes:   s.Server.WorkerCrashes - prev.Server.WorkerCrashes,
+			CrashResolves:   s.Server.CrashResolves - prev.Server.CrashResolves,
 		},
 	}
 	return d

@@ -1,0 +1,49 @@
+// Open-loop load generation. A closed-loop driver (each client issues
+// the next op when the previous returns) self-throttles under overload:
+// latency rises, the offered rate falls, and the system never sees the
+// queue it would face in production. The open-loop generator fixes the
+// *arrival* process instead — Poisson arrivals at a target rate,
+// independent of service latency — so a 2× overload run really offers
+// 2× and the server's shedding machinery is exercised for real.
+
+package workload
+
+import (
+	"math"
+	"time"
+
+	"cxlalloc/internal/xrand"
+)
+
+// Arrivals produces a Poisson arrival process at a fixed mean rate:
+// successive inter-arrival gaps are i.i.d. exponential, drawn from a
+// seeded generator so a run's offered load replays exactly.
+type Arrivals struct {
+	rng  *xrand.Rand
+	mean float64 // mean gap in nanoseconds
+}
+
+// NewArrivals creates an arrival process with the given mean rate in
+// operations per second. rate must be positive.
+func NewArrivals(seed uint64, rate float64) *Arrivals {
+	if rate <= 0 {
+		panic("workload: arrival rate must be positive")
+	}
+	return &Arrivals{
+		rng:  xrand.New(xrand.Mix(seed) ^ 0x0be9a1001),
+		mean: float64(time.Second) / rate,
+	}
+}
+
+// Next draws the next inter-arrival gap. Gaps are capped at 64× the
+// mean so a single astronomically unlucky draw cannot stall a bounded
+// benchmark window; the cap truncates less than 1e-27 of the mass.
+func (a *Arrivals) Next() time.Duration {
+	u := a.rng.Float64()
+	// u is in [0, 1); 1-u is in (0, 1], so the log is finite.
+	gap := -math.Log(1-u) * a.mean
+	if max := 64 * a.mean; gap > max {
+		gap = max
+	}
+	return time.Duration(gap)
+}

@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestArrivalsExponentialShape(t *testing.T) {
+	const rate = 100_000.0 // ops/sec -> mean gap 10µs
+	a := NewArrivals(42, rate)
+	const draws = 200_000
+	var sum, sumSq float64
+	for i := 0; i < draws; i++ {
+		g := float64(a.Next())
+		if g < 0 {
+			t.Fatalf("negative gap %v", g)
+		}
+		sum += g
+		sumSq += g * g
+	}
+	meanWant := float64(time.Second) / rate
+	mean := sum / draws
+	if mean < 0.97*meanWant || mean > 1.03*meanWant {
+		t.Fatalf("mean gap %.0fns, want ~%.0fns", mean, meanWant)
+	}
+	// Exponential: stddev == mean. A deterministic pacer (stddev ~0) or a
+	// uniform one (stddev ~0.29×mean) would both fail this.
+	std := math.Sqrt(sumSq/draws - mean*mean)
+	if std < 0.9*mean || std > 1.1*mean {
+		t.Fatalf("stddev %.0fns vs mean %.0fns; not exponential", std, mean)
+	}
+}
+
+func TestArrivalsDeterministicUnderSeed(t *testing.T) {
+	a1 := NewArrivals(7, 50_000)
+	a2 := NewArrivals(7, 50_000)
+	diverged := false
+	b := NewArrivals(8, 50_000)
+	for i := 0; i < 10_000; i++ {
+		g1, g2 := a1.Next(), a2.Next()
+		if g1 != g2 {
+			t.Fatalf("draw %d: same seed diverged: %v vs %v", i, g1, g2)
+		}
+		if g1 != b.Next() {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestArrivalsGapCapBoundsTail(t *testing.T) {
+	a := NewArrivals(3, 1000) // mean gap 1ms, cap 64ms
+	for i := 0; i < 100_000; i++ {
+		if g := a.Next(); g > 64*time.Millisecond {
+			t.Fatalf("gap %v exceeds 64× mean cap", g)
+		}
+	}
+}
+
+// TestKVGenDeterministicUnderSeed pins the op stream for a fixed
+// (spec, seed, tid): same inputs replay bit-for-bit, different seeds
+// diverge. This is the baseline the open-loop driver's offered load
+// rests on — its reproducibility is the arrival stream's times plus
+// this op stream's contents.
+func TestKVGenDeterministicUnderSeed(t *testing.T) {
+	for _, spec := range Specs(10_000, 0) {
+		g1 := NewKVGen(spec, 2026, 1, 4)
+		g2 := NewKVGen(spec, 2026, 1, 4)
+		other := NewKVGen(spec, 2027, 1, 4)
+		diverged := false
+		for i := 0; i < 5000; i++ {
+			o1, o2 := g1.Next(), g2.Next()
+			if o1.Kind != o2.Kind || o1.KeyID != o2.KeyID ||
+				string(o1.Key) != string(o2.Key) || string(o1.Val) != string(o2.Val) {
+				t.Fatalf("%s: draw %d diverged under same seed", spec.Name, i)
+			}
+			o3 := other.Next()
+			if o1.Kind != o3.Kind || o1.KeyID != o3.KeyID {
+				diverged = true
+			}
+		}
+		// Pure-load specs deal sequential partitioned keys, so their
+		// streams are seed-independent by design.
+		if !diverged && spec.InsertFrac < 1.0 {
+			t.Fatalf("%s: seeds 2026 and 2027 produced identical streams", spec.Name)
+		}
+	}
+}

@@ -128,42 +128,48 @@ func findExp(name string) *expDef {
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment to run (comma-separated; see -list)")
-		list       = flag.Bool("list", false, "print the registered experiments and exit")
-		scaleName  = flag.String("scale", "default", "small | default")
-		out        = flag.String("out", "", "append NDJSON results to this file")
-		jsonOut    = flag.String("json", "", "append a labeled, stably sorted run to this BENCH_*.json file")
-		label      = flag.String("label", "current", "run label recorded in -json output (e.g. before, after)")
-		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
-		memProfile = flag.String("memprofile", "", "write a pprof heap profile after the run to this file")
-		workloads  = flag.String("workloads", "", "fig8: comma-separated workload filter")
-		threads    = flag.String("threads", "", "override thread counts, e.g. 1,2,4,8")
-		procs      = flag.Int("procs", 0, "override process count")
-		ops        = flag.Int("ops", 0, "override total operations per trial")
-		trials     = flag.Int("trials", 0, "override trial count")
-		arena      = flag.Int("arena", 0, "override per-allocator backing memory (bytes)")
-		seed       = flag.Uint64("seed", 0, "override workload RNG seed (chaos, persist; recorded in report rows)")
-		perPoint   = flag.String("persist-point", "", "persist: restrict the sweep to one crash point (required for -persist-mask)")
-		perMask    = flag.String("persist-mask", "", "persist: replay a single cell with this hex persist mask (e.g. 0x7ff) instead of sweeping")
-		perCap     = flag.Int("persist-cap", 0, "persist: exhaustive subset enumeration cap (windows wider than this are sampled)")
-		perSamples = flag.Int("persist-samples", 0, "persist: sampled cells per capped window")
-		perMutate  = flag.Bool("persist-mutate", false, "persist: run against the SkipOplogFlush mutant (sweep must fail; meta-test)")
-		traceOut   = flag.String("trace", "", "record a Chrome trace_event JSON of the run to this file (open in chrome://tracing or ui.perfetto.dev)")
-		metricsOut = flag.String("metrics", "", "append unified metrics snapshots (NDJSON, one per measured cxlalloc cell) to this file")
-		duration   = flag.Duration("duration", 0, "livechaos: traffic window (default 10s)")
-		faultRate  = flag.Float64("fault-rate", 0, "livechaos: mean fault injections per second (default 1.2)")
-		replayPath = flag.String("replay", "", "livechaos: replay this NDJSON fault schedule instead of recording one")
-		schedOut   = flag.String("schedule-out", "", "livechaos: write the run's fault schedule to this NDJSON file")
-		leaseWall  = flag.Duration("lease", 0, "livechaos/slochaos: target lease wall-clock expiry (default 400ms; raise on heavily shared machines to avoid benign claim storms)")
-		sloWindow  = flag.Duration("slo-window", 0, "slo: measured window per rate point (default 1.5s)")
-		sloDead    = flag.Duration("slo-deadline", 0, "slo: per-request deadline budget (default 25ms)")
-		sloRates   = flag.String("slo-rates", "", "slo: offered-load multipliers of measured capacity (default 0.5,1,2,4)")
-		sloClients = flag.Int("slo-clients", 0, "slo: issuer connection count (default 16)")
-		sloQueue   = flag.Int("slo-queue", 0, "slo: per-group admission queue bound (default 64)")
-		strictTr   = flag.Bool("strict-trace", false, "fail the run if the -trace ring dropped any events")
-		obsGate    = flag.String("obs-gate", "", "fail if obs disabled-tracing throughput regressed vs the baseline run in this BENCH_obs.json")
-		obsGatePct = flag.Float64("obs-gate-pct", 5, "obs gate tolerance in percent")
-		obsGateRef = flag.String("obs-gate-label", "baseline", "obs gate baseline run label")
+		exp         = flag.String("exp", "all", "experiment to run (comma-separated; see -list)")
+		list        = flag.Bool("list", false, "print the registered experiments and exit")
+		scaleName   = flag.String("scale", "default", "small | default")
+		out         = flag.String("out", "", "append NDJSON results to this file")
+		jsonOut     = flag.String("json", "", "append a labeled, stably sorted run to this BENCH_*.json file")
+		label       = flag.String("label", "current", "run label recorded in -json output (e.g. before, after)")
+		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile  = flag.String("memprofile", "", "write a pprof heap profile after the run to this file")
+		workloads   = flag.String("workloads", "", "fig8: comma-separated workload filter")
+		threads     = flag.String("threads", "", "override thread counts, e.g. 1,2,4,8")
+		procs       = flag.Int("procs", 0, "override process count")
+		ops         = flag.Int("ops", 0, "override total operations per trial")
+		trials      = flag.Int("trials", 0, "override trial count")
+		arena       = flag.Int("arena", 0, "override per-allocator backing memory (bytes)")
+		seed        = flag.Uint64("seed", 0, "override workload RNG seed (chaos, persist; recorded in report rows)")
+		perPoint    = flag.String("persist-point", "", "persist: restrict the sweep to one crash point (required for -persist-mask)")
+		perMask     = flag.String("persist-mask", "", "persist: replay a single cell with this hex persist mask (e.g. 0x7ff) instead of sweeping")
+		perCap      = flag.Int("persist-cap", 0, "persist: exhaustive subset enumeration cap (windows wider than this are sampled)")
+		perSamples  = flag.Int("persist-samples", 0, "persist: sampled cells per capped window")
+		perMutate   = flag.Bool("persist-mutate", false, "persist: run against the SkipOplogFlush mutant (sweep must fail; meta-test)")
+		perMutateF  = flag.Bool("persist-mutate-fence", false, "persist: run against the SkipCommitFence mutant — magazine pop without its commit fence (sweep must fail; meta-test)")
+		traceOut    = flag.String("trace", "", "record a Chrome trace_event JSON of the run to this file (open in chrome://tracing or ui.perfetto.dev)")
+		traceCap    = flag.Int("trace-cap", 1<<20, "per-thread trace ring capacity (events) for -trace; rounds up to a power of two")
+		metricsOut  = flag.String("metrics", "", "append unified metrics snapshots (NDJSON, one per measured cxlalloc cell) to this file")
+		duration    = flag.Duration("duration", 0, "livechaos: traffic window (default 10s)")
+		faultRate   = flag.Float64("fault-rate", 0, "livechaos: mean fault injections per second (default 1.2)")
+		replayPath  = flag.String("replay", "", "livechaos: replay this NDJSON fault schedule instead of recording one")
+		schedOut    = flag.String("schedule-out", "", "livechaos: write the run's fault schedule to this NDJSON file")
+		leaseWall   = flag.Duration("lease", 0, "livechaos/slochaos: target lease wall-clock expiry (default 400ms; raise on heavily shared machines to avoid benign claim storms)")
+		sloWindow   = flag.Duration("slo-window", 0, "slo: measured window per rate point (default 1.5s)")
+		sloDead     = flag.Duration("slo-deadline", 0, "slo: per-request deadline budget (default 25ms)")
+		sloRates    = flag.String("slo-rates", "", "slo: offered-load multipliers of measured capacity (default 0.5,1,2,4)")
+		sloClients  = flag.Int("slo-clients", 0, "slo: issuer connection count (default 16)")
+		sloQueue    = flag.Int("slo-queue", 0, "slo: per-group admission queue bound (default 64)")
+		strictTr    = flag.Bool("strict-trace", false, "fail the run if the -trace ring dropped any events")
+		obsGate     = flag.String("obs-gate", "", "fail if obs disabled-tracing throughput regressed vs the baseline run in this BENCH_obs.json")
+		obsGatePct  = flag.Float64("obs-gate-pct", 5, "obs gate tolerance in percent")
+		obsGateRef  = flag.String("obs-gate-label", "baseline", "obs gate baseline run label")
+		hotGate     = flag.String("hotpath-gate", "", "gate swcc threadtest-small throughput against the baseline run in this BENCH_hotpath.json (warn/fail tolerances below)")
+		hotGateRef  = flag.String("hotpath-gate-label", "after", "hotpath gate baseline run label")
+		hotGateWarn = flag.Float64("hotpath-gate-warn-pct", 15, "hotpath gate: warn when regression exceeds this percent")
+		hotGateFail = flag.Float64("hotpath-gate-fail-pct", 30, "hotpath gate: fail when regression exceeds this percent")
 	)
 	flag.Parse()
 
@@ -187,11 +193,12 @@ func main() {
 		leaseWall: *leaseWall,
 	}
 	persistFlags = persistOpts{
-		point:   *perPoint,
-		mask:    *perMask,
-		cap:     *perCap,
-		samples: *perSamples,
-		mutate:  *perMutate,
+		point:       *perPoint,
+		mask:        *perMask,
+		cap:         *perCap,
+		samples:     *perSamples,
+		mutate:      *perMutate,
+		mutateFence: *perMutateF,
 	}
 	sloFlags = sloOpts{
 		window:   *sloWindow,
@@ -266,7 +273,12 @@ func main() {
 	}
 
 	// -trace installs the global tracer for the whole invocation. Rings
-	// must cover the widest thread sweep (chaos pods use 4 slots).
+	// must cover the widest thread sweep (chaos pods use 4 slots). A
+	// requested trace is a request for the full event stream: hot-kind
+	// sampling (the leave-it-on default that the obs experiment measures)
+	// is switched to full fidelity, and the ring default is sized so a
+	// hotpath-scale run fits without drops (-strict-trace stays a real
+	// gate; tune with -trace-cap).
 	var tracer *telemetry.Tracer
 	if *traceOut != "" {
 		maxT := 4
@@ -275,7 +287,8 @@ func main() {
 				maxT = t
 			}
 		}
-		tracer = telemetry.Start(maxT, 1<<16)
+		telemetry.SetHotSamplePeriod(1)
+		tracer = telemetry.Start(maxT, *traceCap)
 	}
 	var metrics []telemetry.MetricsRecord
 	if *metricsOut != "" {
@@ -362,6 +375,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "obs gate passed (tolerance %.0f%% vs %q in %s)\n",
 			*obsGatePct, *obsGateRef, *obsGate)
 	}
+	if *hotGate != "" {
+		warns, err := bench.CheckHotpathGate(*hotGate, *hotGateRef, all, *hotGateWarn, *hotGateFail)
+		for _, w := range warns {
+			fmt.Fprintf(os.Stderr, "WARNING: hotpath gate: %s\n", w)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "hotpath gate passed (warn %.0f%% / fail %.0f%% vs %q in %s, %d warnings)\n",
+			*hotGateWarn, *hotGateFail, *hotGateRef, *hotGate, len(warns))
+	}
 	if *memProfile != "" {
 		f, err := os.Create(*memProfile)
 		if err != nil {
@@ -388,6 +412,9 @@ func validateFlags(exps []string) error {
 			return fmt.Errorf("unknown experiment %q", e)
 		}
 		named[e] = true
+	}
+	if persistFlags.mutate && persistFlags.mutateFence {
+		return fmt.Errorf("-persist-mutate and -persist-mutate-fence are separate meta-tests; run one at a time")
 	}
 	if persistFlags.mask != "" {
 		if persistFlags.point == "" {
@@ -592,11 +619,12 @@ func runLiveChaos(sc bench.Scale) ([]bench.Row, error) {
 
 // persistOpts carries the -persist-* flags into runPersist.
 type persistOpts struct {
-	point   string
-	mask    string
-	cap     int
-	samples int
-	mutate  bool
+	point       string
+	mask        string
+	cap         int
+	samples     int
+	mutate      bool
+	mutateFence bool
 }
 
 var persistFlags persistOpts
@@ -623,9 +651,11 @@ func runPersist(sc bench.Scale) ([]bench.Row, error) {
 		cfg.Samples = persistFlags.samples
 	}
 	cfg.SkipOplogFlush = persistFlags.mutate
+	cfg.SkipCommitFence = persistFlags.mutateFence
 	if persistFlags.point != "" {
 		cfg.Points = []string{persistFlags.point}
 	}
+	mutated := cfg.SkipOplogFlush || cfg.SkipCommitFence
 
 	if persistFlags.mask != "" {
 		if persistFlags.point == "" {
@@ -641,7 +671,7 @@ func runPersist(sc bench.Scale) ([]bench.Row, error) {
 				persistFlags.point, mask, win, rerr)
 		}
 		fmt.Printf("persist cell ok: point=%s mask=%#x window=%d lines seed=%d mutate=%v\n",
-			persistFlags.point, mask, win, cfg.Seed, cfg.SkipOplogFlush)
+			persistFlags.point, mask, win, cfg.Seed, mutated)
 		return []bench.Row{{
 			Experiment: "persist",
 			Workload:   "replay/" + persistFlags.point,
@@ -652,7 +682,7 @@ func runPersist(sc bench.Scale) ([]bench.Row, error) {
 				"mask":   fmt.Sprintf("%#x", mask),
 				"window": fmt.Sprint(win),
 				"seed":   fmt.Sprint(cfg.Seed),
-				"mutate": fmt.Sprint(cfg.SkipOplogFlush),
+				"mutate": fmt.Sprint(mutated),
 			},
 		}}, nil
 	}
@@ -676,14 +706,18 @@ func runPersist(sc bench.Scale) ([]bench.Row, error) {
 			"capped":     fmt.Sprint(rep.Capped),
 			"violations": fmt.Sprint(len(rep.Violations)),
 			"seed":       fmt.Sprint(cfg.Seed),
-			"mutate":     fmt.Sprint(cfg.SkipOplogFlush),
+			"mutate":     fmt.Sprint(mutated),
 		},
 	}}
-	if cfg.SkipOplogFlush {
+	if mutated {
 		// Mutation meta-test: the broken allocator MUST be caught,
 		// and the catch must carry a minimized, replayable repro.
 		if len(rep.Violations) == 0 {
-			return rows, fmt.Errorf("persist mutation gate failed: SkipOplogFlush sweep found no violation")
+			which := "SkipOplogFlush"
+			if cfg.SkipCommitFence {
+				which = "SkipCommitFence"
+			}
+			return rows, fmt.Errorf("persist mutation gate failed: %s sweep found no violation", which)
 		}
 		v := rep.Violations[0]
 		if len(v.MinDrop) == 0 || v.Repro == "" {

@@ -452,6 +452,15 @@ func (t *Thread) Footprint() Footprint {
 	return t.proc.pod.heap.Footprint(t.tid)
 }
 
+// DrainMagazines returns every block this thread privatized into its
+// allocation magazines (DESIGN.md §7.2) back to the shared slabs. The
+// hot path never needs this — crash reclamation and the drain-time
+// ledger audit account for live magazines — but harnesses and graceful
+// shutdown paths use it to minimize the thread's shared-state footprint.
+func (t *Thread) DrainMagazines() {
+	t.proc.pod.heap.DrainMagazines(t.tid)
+}
+
 // Run executes f; if an injected crash point fires (Config.Crash), the
 // panic is caught, the thread slot is marked crashed exactly as the
 // crash left it, and the Crashed value is returned. The Thread must not

@@ -79,6 +79,7 @@ type HW struct {
 	mcasFaults  atomic.Uint64
 	mcasRetries atomic.Uint64
 	fallbacks   atomic.Uint64
+	evTick      atomic.Uint32 // EvMCASAttempt sampling tick (tracing only)
 }
 
 // New returns an HW over dev in the given mode. unit is required for
@@ -146,7 +147,13 @@ func (h *HW) CAS(tid, w int, old, new uint64) (cur uint64, ok bool) {
 	switch h.mode {
 	case ModeMCAS:
 		for attempt := 0; attempt < mcasAttempts; attempt++ {
-			if telemetry.Enabled() {
+			// EvMCASAttempt fires on every HWcc op in mCAS mode, so it is
+			// sampled (telemetry.SampleHot); retries and fallbacks are rare
+			// and recorded unconditionally. The tick is a shared atomic —
+			// the HW layer is pod-wide — but it is only touched when
+			// tracing is enabled, and an mCAS attempt already costs an NMP
+			// round trip.
+			if telemetry.Enabled() && telemetry.SampleHotAtomic(&h.evTick) {
 				telemetry.Emit(tid, telemetry.EvMCASAttempt, uint64(w), uint32(attempt))
 			}
 			cur, ok, err := h.unit.TryMCAS(tid, w, old, new)

@@ -168,15 +168,24 @@ func TestRunFig12(t *testing.T) {
 	if len(rows) != 2*6 {
 		t.Fatalf("rows = %d", len(rows))
 	}
-	// Structural claim: mcas variants are slower than their dram twins.
+	// Structural claim: ralloc's mcas variant is slower than its dram
+	// twin — the protocol rounds are pure added cost there. cxlalloc no
+	// longer satisfies the same inequality: magazines run only on
+	// incoherent devices (DESIGN.md §7.2), so the mcas variant amortizes
+	// its protocol cost down to one line write per alloc while the dram
+	// baseline stays on the classic path, and threadtest's batched
+	// pattern lets mcas come out ahead. Assert both rows exist and are
+	// positive instead.
 	tput := map[string]float64{}
 	for _, r := range rows {
 		if r.Workload == "threadtest-small" {
 			tput[r.Allocator] = r.Throughput
 		}
 	}
-	if tput["cxlalloc-mcas"] >= tput["cxlalloc"] {
-		t.Fatalf("cxlalloc-mcas (%v) not slower than dram (%v)", tput["cxlalloc-mcas"], tput["cxlalloc"])
+	for _, name := range []string{"cxlalloc", "cxlalloc-mcas"} {
+		if tput[name] <= 0 {
+			t.Fatalf("%s throughput = %v", name, tput[name])
+		}
 	}
 	if tput["ralloc-mcas"] >= tput["ralloc"] {
 		t.Fatalf("ralloc-mcas (%v) not slower than dram (%v)", tput["ralloc-mcas"], tput["ralloc"])

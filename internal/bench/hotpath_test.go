@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func hotRow(threads int, tput float64) Row {
+	return Row{Experiment: "hotpath", Workload: "threadtest-small",
+		Allocator: "cxlalloc-swcc", Threads: threads, Procs: 2, Throughput: tput}
+}
+
+func TestCheckHotpathGate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_hotpath.json")
+	base := []Row{
+		hotRow(2, 1000),
+		// Non-gated cells must not trip the gate even when they tank.
+		{Experiment: "hotpath", Workload: "threadtest-small", Allocator: "cxlalloc-dram", Threads: 2, Procs: 2, Throughput: 1000},
+	}
+	if err := AppendBenchJSON(path, "after", base); err != nil {
+		t.Fatal(err)
+	}
+
+	if warns, err := CheckHotpathGate(path, "after", []Row{hotRow(2, 950)}, 15, 30); err != nil || len(warns) != 0 {
+		t.Fatalf("within-tolerance run: warns=%v err=%v", warns, err)
+	}
+
+	warns, err := CheckHotpathGate(path, "after", []Row{hotRow(2, 800)}, 15, 30)
+	if err != nil {
+		t.Fatalf("warn-band run failed hard: %v", err)
+	}
+	if len(warns) != 1 || !strings.Contains(warns[0], "threadtest-small") {
+		t.Fatalf("warn-band run: warns=%v, want one naming the cell", warns)
+	}
+
+	if _, err := CheckHotpathGate(path, "after", []Row{hotRow(2, 600)}, 15, 30); err == nil {
+		t.Fatal("gate passed a 40% regression")
+	}
+
+	dramOnly := []Row{{Experiment: "hotpath", Workload: "threadtest-small",
+		Allocator: "cxlalloc-dram", Threads: 2, Procs: 2, Throughput: 100}}
+	if _, err := CheckHotpathGate(path, "after", dramOnly, 15, 30); err == nil {
+		t.Fatal("gate passed vacuously with no comparable swcc cell")
+	}
+
+	if _, err := CheckHotpathGate(path, "no-such-label", []Row{hotRow(2, 1000)}, 15, 30); err == nil {
+		t.Fatal("gate passed with a missing baseline run")
+	}
+}
+
+// TestAppendBenchJSONAppendsAndReplaces pins the trajectory-file
+// semantics the per-PR workflow relies on: a new label appends a run,
+// re-recording an existing label replaces it in place (stable order,
+// no growth), and rows are stably sorted on write.
+func TestAppendBenchJSONAppendsAndReplaces(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_hotpath.json")
+	if err := AppendBenchJSON(path, "before", []Row{hotRow(4, 900), hotRow(2, 800)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendBenchJSON(path, "after", []Row{hotRow(2, 1200)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendBenchJSON(path, "before", []Row{hotRow(2, 850)}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bf BenchFile
+	if err := json.Unmarshal(raw, &bf); err != nil {
+		t.Fatal(err)
+	}
+	if len(bf.Runs) != 2 {
+		t.Fatalf("runs = %d, want 2 (replace, not append, for a seen label)", len(bf.Runs))
+	}
+	if bf.Runs[0].Label != "before" || bf.Runs[1].Label != "after" {
+		t.Fatalf("run order changed on replace: %q, %q", bf.Runs[0].Label, bf.Runs[1].Label)
+	}
+	if len(bf.Runs[0].Rows) != 1 || bf.Runs[0].Rows[0].Throughput != 850 {
+		t.Fatalf("replaced run holds stale rows: %+v", bf.Runs[0].Rows)
+	}
+
+	// Rows written sorted: the first call's out-of-order input.
+	if err := AppendBenchJSON(path, "sorted", []Row{hotRow(4, 2), hotRow(1, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = os.ReadFile(path)
+	bf = BenchFile{}
+	if err := json.Unmarshal(raw, &bf); err != nil {
+		t.Fatal(err)
+	}
+	rows := bf.Runs[2].Rows
+	if rows[0].Threads != 1 || rows[1].Threads != 4 {
+		t.Fatalf("rows not sorted by threads: %+v", rows)
+	}
+}

@@ -317,6 +317,10 @@ type harnessOpts struct {
 	// skipOplogFlush removes the redo log's durability flush — the
 	// deliberate protocol mutation the persist sweep must catch.
 	skipOplogFlush bool
+	// skipCommitFence elides the magazine pop's commit fence — the
+	// second deliberate mutation, proving the sweep guards the
+	// coalesced-fence discipline too.
+	skipCommitFence bool
 }
 
 func newHarness(cfg Config, inj *crash.Injector, mode atomicx.Mode) (*harness, error) {
@@ -337,6 +341,7 @@ func newHarnessOpts(cfg Config, inj *crash.Injector, mode atomicx.Mode, opts har
 	pc.Crash = inj
 	pc.TrackPersist = opts.trackPersist
 	pc.SkipOplogFlush = opts.skipOplogFlush
+	pc.SkipCommitFence = opts.skipCommitFence
 	h := &harness{
 		cfg:     cfg,
 		inj:     inj,
@@ -431,6 +436,19 @@ func (h *harness) runScript(onCrash crashHandler) error {
 // cover all three heaps; free bursts drive empty/spill/pop-global;
 // cross-process reads publish hazards; Maintain reclaims huge space.
 func (h *harness) step(th *cxlalloc.Thread, i int) {
+	// Exercise the magazine machinery deterministically, keyed on the op
+	// index rather than the rng so the random stream — and with it every
+	// persist probe and cell window — is byte-identical whether or not
+	// magazines exist. Toggling routes the same workload through both the
+	// magazine and the classic paths (and makes the nested-drain full
+	// transition reachable); periodic drains visit the magdrain.* points.
+	// Both are no-ops on coherent devices.
+	if i > 0 && i%131 == 0 {
+		h.pod.Heap().SetMagazines((i/131)%2 == 0)
+	}
+	if i > 0 && i%97 == 0 {
+		th.DrainMagazines()
+	}
 	r := h.rng
 	roll := r.Intn(100)
 	switch {

@@ -54,6 +54,12 @@ type PersistConfig struct {
 	// allocator variant (core.Config.SkipOplogFlush) — the mutation
 	// meta-test proving the sweep detects a missing protocol flush.
 	SkipOplogFlush bool
+
+	// SkipCommitFence runs the sweep against the variant that elides the
+	// magazine pop's commit fence (core.Config.SkipCommitFence) — the
+	// meta-test proving the sweep guards the coalesced-fence discipline
+	// of DESIGN.md §7.1.
+	SkipCommitFence bool
 }
 
 // DefaultPersistConfig returns a sweep sized like DefaultConfig, with an
@@ -174,7 +180,7 @@ func PersistSweep(cfg PersistConfig) (*PersistReport, error) {
 	}
 	rep := &PersistReport{
 		Seed: cfg.Seed, SubsetCap: cfg.SubsetCap, Samples: cfg.Samples,
-		Mutated: cfg.SkipOplogFlush,
+		Mutated: cfg.SkipOplogFlush || cfg.SkipCommitFence,
 	}
 
 	points, err := discoverPersist(cfg)
@@ -183,8 +189,14 @@ func PersistSweep(cfg PersistConfig) (*PersistReport, error) {
 	}
 
 	// Same teeth check as the chaos sweep: the workload must reach the
-	// interesting transitions, or the sweep passes vacuously.
-	musts := append([]string{"small.alloc.post-take", "huge.alloc.post-link"},
+	// interesting transitions, or the sweep passes vacuously. This sweep
+	// runs on an incoherent device, where the magazines are live — their
+	// refill, pop, and drain windows must be attacked too.
+	musts := append([]string{"small.alloc.post-take", "huge.alloc.post-link",
+		"small.magalloc.post-take", "small.magrefill.post-oplog",
+		"small.magrefill.pre-commit", "small.magfree.post-put",
+		"small.magfree.post-adopt", "small.magdrain.post-oplog",
+		"small.magdrain.pre-commit", "small.magdrain.post-clear"},
 		core.RecoveryCrashPoints...)
 	for _, must := range musts {
 		if !contains(points, must) {
@@ -355,6 +367,9 @@ func ReproLine(cfg PersistConfig, point string, mask uint64) string {
 	if cfg.SkipOplogFlush {
 		mut = " -persist-mutate"
 	}
+	if cfg.SkipCommitFence {
+		mut += " -persist-mutate-fence"
+	}
 	return fmt.Sprintf("go run ./cmd/cxlbench -exp persist -seed %d -persist-point %s -persist-mask 0x%x%s",
 		cfg.Seed, point, mask, mut)
 }
@@ -391,7 +406,8 @@ func runPersistCell(cfg PersistConfig, point string, mkPolicy persistPolicy) (re
 	}()
 	inj := crash.NewInjector()
 	h, err := newHarnessOpts(cfg.chaosConfig(), inj, atomicx.ModeHWcc,
-		harnessOpts{trackPersist: true, skipOplogFlush: cfg.SkipOplogFlush})
+		harnessOpts{trackPersist: true, skipOplogFlush: cfg.SkipOplogFlush,
+			skipCommitFence: cfg.SkipCommitFence})
 	if err != nil {
 		res.err = err.Error()
 		return res
@@ -484,7 +500,8 @@ func discoverPersist(cfg PersistConfig) ([]string, error) {
 	inj := crash.NewInjector()
 	inj.EnableCoverage()
 	h, err := newHarnessOpts(cfg.chaosConfig(), inj, atomicx.ModeHWcc,
-		harnessOpts{trackPersist: true, skipOplogFlush: cfg.SkipOplogFlush})
+		harnessOpts{trackPersist: true, skipOplogFlush: cfg.SkipOplogFlush,
+			skipCommitFence: cfg.SkipCommitFence})
 	if err != nil {
 		return nil, err
 	}

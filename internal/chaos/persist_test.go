@@ -75,6 +75,41 @@ func TestPersistSweepCatchesMissingOplogFlush(t *testing.T) {
 	t.Logf("minimized: window=%d drop=%v err=%q", win, v.MinDrop, v.MinErr)
 }
 
+// TestPersistSweepCatchesMissingCommitFence is the second mutation
+// meta-test, guarding the coalesced-fence discipline (DESIGN.md §7.1):
+// the magazine pop defers its record's fence to the operation commit
+// boundary, so eliding that one fence leaves the handoff record and the
+// mask-clear uncommitted together. The sweep must catch the resulting
+// lost block at the pop's crash point and minimize the counterexample.
+func TestPersistSweepCatchesMissingCommitFence(t *testing.T) {
+	cfg := DefaultPersistConfig()
+	cfg.SkipCommitFence = true
+	cfg.Points = []string{"small.magalloc.post-take"}
+	rep, err := PersistSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(rep.Summary())
+	if len(rep.Violations) == 0 {
+		t.Fatal("sweep did not catch the missing commit fence: an uncommitted magazine pop went unnoticed")
+	}
+	v := rep.Violations[0]
+	if v.Repro == "" || !strings.Contains(v.Repro, "-persist-mutate-fence") {
+		t.Fatalf("violation carries no mutated repro line: %+v", v)
+	}
+	if len(v.MinDrop) == 0 {
+		t.Fatalf("violation was not minimized: %+v", v)
+	}
+	win, rerr := ReplayPersistCell(cfg, v.Point, v.MinMask)
+	if rerr == nil {
+		t.Fatalf("minimized cell (point=%s mask=%#x) replayed clean — repro is not deterministic", v.Point, v.MinMask)
+	}
+	if rerr.Error() != v.MinErr {
+		t.Fatalf("replay failure diverged: got %q, sweep recorded %q", rerr, v.MinErr)
+	}
+	t.Logf("minimized: window=%d drop=%v err=%q", win, v.MinDrop, v.MinErr)
+}
+
 // legacySWccPoint runs the canonical chaos script under ModeHWcc with
 // the legacy writeback-all crash path (no persist adversary) and a
 // single armed crash point. The persist sweep grew out of exactly this

@@ -106,6 +106,21 @@ type Config struct {
 	// the persist sweep's mutation meta-test can prove it detects a
 	// missing protocol flush. Never set outside that test.
 	SkipOplogFlush bool
+
+	// DisableMagazines turns off the thread-local allocation magazines
+	// (DESIGN.md §7.2), forcing every alloc and free through the classic
+	// slab protocol. Magazines are already inert in coherent modes; this
+	// knob exists for A/B benchmarking and for harnesses that need the
+	// classic crash points to stay reachable without the runtime toggle.
+	DisableMagazines bool
+
+	// SkipCommitFence elides the single commit fence of the magazine pop
+	// — the fence that makes the handoff record and the mask-clear
+	// durable together. This deliberately breaks the coalesced-fence
+	// discipline of DESIGN.md §7.1; it exists ONLY so the persist sweep's
+	// mutation meta-test can prove the sweep detects a missing
+	// commit-boundary fence. Never set outside that test.
+	SkipCommitFence bool
 }
 
 // DefaultConfig returns a configuration sized for tests and examples:

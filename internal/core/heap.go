@@ -33,6 +33,10 @@ type Heap struct {
 	// semantic no-ops, so hot paths skip the calls entirely.
 	coherent bool
 
+	// magsOff is the runtime magazine toggle (SetMagazines), kept
+	// inverted so the zero value means "on". See magazine.go.
+	magsOff atomic.Bool
+
 	threads []threadState
 
 	// ops is the per-thread allocator op ledger (telemetry.AllocStats
@@ -95,6 +99,7 @@ const opsPubEvery = 64
 type threadOps struct {
 	counts [ocKinds]uint64
 	since  uint32
+	evTick uint32 // EvAlloc/EvFree trace-sampling tick (telemetry.SampleHot)
 	pub    [ocKinds]atomic.Uint64
 	_      [24]byte
 }
@@ -134,6 +139,12 @@ type threadState struct {
 
 	hugeFree interval.Set // free virtual address ranges owned by this thread
 	descFree []int        // free huge-descriptor slots
+
+	// mags are the volatile magazine mirrors, one slice per slab heap
+	// (indexed by slabHeap.magIdx), allocated lazily on first refill.
+	// Deliberately NOT rebuilt by recovery: reclamation returns a dead
+	// thread's magazines to their slabs instead (magazine.go).
+	mags [2][]magSlot
 }
 
 // NewHeap creates (or attaches to) a heap on dev. Because zeroed memory
@@ -182,6 +193,8 @@ func NewHeap(cfg Config, dev *memsim.Device) (*Heap, error) {
 		bitsetWords: lay.SmallBitsetWords,
 		dataOff:     lay.SmallDataOff,
 		opBit:       0,
+		magBase:     lay.SmallMagBase,
+		magIdx:      0,
 	}
 	h.large = &slabHeap{
 		h:           h,
@@ -199,6 +212,8 @@ func NewHeap(cfg Config, dev *memsim.Device) (*Heap, error) {
 		bitsetWords: lay.LargeBitsetWords,
 		dataOff:     lay.LargeDataOff,
 		opBit:       opLargeBit,
+		magBase:     lay.LargeMagBase,
+		magIdx:      1,
 	}
 	return h, nil
 }
@@ -386,7 +401,7 @@ func (h *Heap) Alloc(tid int, size int) (Ptr, error) {
 	}
 	if err == nil {
 		h.ops[tid].bump(oc)
-		if telemetry.Enabled() {
+		if telemetry.Enabled() && telemetry.SampleHot(&h.ops[tid].evTick) {
 			telemetry.Emit(tid, telemetry.EvAlloc, uint64(p), class)
 		}
 	}
@@ -420,7 +435,7 @@ func (h *Heap) Free(tid int, p Ptr) {
 		panic(fmt.Sprintf("core: Free(%#x): pointer outside heap", p))
 	}
 	h.ops[tid].bump(oc)
-	if telemetry.Enabled() {
+	if telemetry.Enabled() && telemetry.SampleHot(&h.ops[tid].evTick) {
 		telemetry.Emit(tid, telemetry.EvFree, uint64(p), class)
 	}
 	h.maybeCheck(tid)

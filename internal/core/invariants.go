@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Runtime invariant checks (§5.1): "SWccDesc.owner is null when popping
 // a slab from the global free list, all slabs in thread-local sized free
@@ -114,6 +117,41 @@ func (s *slabHeap) checkLocal(ts *threadState, tid int) error {
 			cur = uint64(w0Next(w0))
 		}
 	}
+
+	// Magazines: every live mirror must reference a slab on this thread's
+	// sized list of the right class, its mask disjoint from the shared
+	// bitset, and the durable magazine line in sync with the mirror.
+	if mags := ts.mags[s.magIdx]; mags != nil {
+		for c := 1; c < len(s.classes); c++ {
+			m := &mags[c]
+			if m.mask == 0 {
+				continue
+			}
+			idx := int(m.slab) - 1
+			if idx < 0 || !seen[idx] {
+				return fmt.Errorf("%s: class-%d magazine of thread %d references slab %d, not on any local list",
+					s.name, c, tid, idx)
+			}
+			w0 := s.loadW0(ts, idx)
+			if w0Owner(w0) != me || w0Class(w0) != c {
+				return fmt.Errorf("%s: class-%d magazine of thread %d references slab %d (owner %d, class %d)",
+					s.name, c, tid, idx, w0Owner(w0), w0Class(w0))
+			}
+			if bw := ts.cache.Load(s.bitsetW(idx) + int(m.word)); bw&m.mask != 0 {
+				return fmt.Errorf("%s: magazine mask overlaps bitset of slab %d (word %d: %#x & %#x)",
+					s.name, idx, m.word, bw, m.mask)
+			}
+			mw := s.magW(tid, c)
+			if meta := ts.cache.Load(mw); meta != packMagMeta(idx, int(m.word), c) {
+				return fmt.Errorf("%s: magazine line of thread %d class %d out of sync (meta %#x, mirror slab %d word %d)",
+					s.name, tid, c, meta, idx, m.word)
+			}
+			if dm := ts.cache.Load(mw + 1); dm != m.mask {
+				return fmt.Errorf("%s: magazine line of thread %d class %d out of sync (mask %#x, mirror %#x)",
+					s.name, tid, c, dm, m.mask)
+			}
+		}
+	}
 	return nil
 }
 
@@ -224,6 +262,10 @@ func (h *Heap) AuditEmpty(tid int) error {
 }
 
 func (s *slabHeap) auditEmpty(ts *threadState, tid int) error {
+	// Blocks privatized into a live magazine are free but absent from
+	// their slab's bitset; fold each magazine window back in for the
+	// ledger equation.
+	extra := s.magUnionMasks(ts)
 	n := int(s.length(tid))
 	for idx := 0; idx < n; idx++ {
 		// The auditor is usually not the slab's owner: invalidate any
@@ -247,6 +289,13 @@ func (s *slabHeap) auditEmpty(ts *threadState, tid int) error {
 		// was already counted. Both break the equality.
 		total := s.blocksPer(class)
 		pc := s.popcount(ts, idx, total)
+		if m, ok := extra[idx]; ok {
+			if bw := ts.cache.Load(s.bitsetW(idx) + m.word); bw&m.mask != 0 {
+				return fmt.Errorf("%s: slab %d magazine mask overlaps bitset (word %d: %#x & %#x)",
+					s.name, idx, m.word, bw, m.mask)
+			}
+			pc += uint32(bits.OnesCount64(m.mask))
+		}
 		remote := s.remoteCount(tid, idx)
 		if pc != remote {
 			return fmt.Errorf("%s: slab %d (class %d) ledger broken after drain: bitset has %d of %d free, countdown expects %d",

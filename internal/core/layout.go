@@ -52,6 +52,8 @@ type Layout struct {
 	HugeDescBase     int // per-thread huge descriptor pools
 	HugeDescStride   int
 	OplogBase        int // per-thread 8-byte recovery state, line-isolated
+	SmallMagBase     int // per-thread per-class magazine lines (meta + mask)
+	LargeMagBase     int
 	SWccWords        int
 
 	// Data region (byte offsets). Offset 0 is a guard page so that Ptr 0
@@ -134,6 +136,16 @@ func computeLayout(c *Config) Layout {
 
 	l.OplogBase = w
 	w += c.NumThreads * lineWords
+
+	// Magazine lines (DESIGN.md §7.2): one line per (thread, class) pair,
+	// single-writer like the oplog. Word 0 packs the source slab and
+	// bitset word, word 1 is the 64-bit mask of privatized blocks. Class
+	// index 1..numClasses maps to line class-1 (class 0 is unsized and
+	// never magazined).
+	l.SmallMagBase = w
+	w += c.NumThreads * numSmallClasses * lineWords
+	l.LargeMagBase = w
+	w += c.NumThreads * numLargeClasses * lineWords
 	l.SWccWords = w
 
 	// --- Data region ---

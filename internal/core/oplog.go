@@ -41,6 +41,13 @@ const (
 	opHugeUnmap   // a = page, b = descriptor ID (hazard cleanup)
 	opHugeReclaim // a = page, b = descriptor ID (owner reclamation)
 	opClaim       // a = victim tid, b = claim generation; ver on the claim word
+	// Magazine ops (thread-local allocation caches, DESIGN.md §7). The
+	// magazine line itself is the durable record of which blocks a thread
+	// privatized; these records cover the window where the magazine and
+	// the slab bitset disagree.
+	opMagRefill // a = slab index, b = class<<8 | bitset word (fill in flight)
+	opMagAlloc  // a = slab index, b = block, ver = class (pop handoff record)
+	opMagDrain  // a = slab index, b = class<<8 | word, ver = pending block+1
 
 	// opLargeBit distinguishes large-heap slab operations from small.
 	opLargeBit = 1 << 5
@@ -69,7 +76,7 @@ func opName(op int) string {
 		"none", "extend", "pop-global", "push-global", "init", "detach",
 		"disown", "alloc-block", "local-free", "empty", "remote-free",
 		"steal", "reserve", "huge-alloc", "huge-free", "huge-unmap",
-		"huge-reclaim", "claim",
+		"huge-reclaim", "claim", "mag-refill", "mag-alloc", "mag-drain",
 	}
 	n := "invalid"
 	if base < len(names) {
@@ -90,9 +97,13 @@ func unpackOp(w uint64) (op int, a uint32, b uint16, ver uint16) {
 }
 
 // writeOplog records the operation tid is about to perform. The record
-// is flushed and fenced so it survives the thread regardless of cache
-// state; this is the only flush the fast path ever performs (§5.2.1
-// measures its cost at ~0.3% on macrobenchmarks).
+// is written back and fenced so it survives the thread regardless of
+// cache state; this is the only fence the classic fast path ever
+// performs (§5.2.1 measures its cost at ~0.3% on macrobenchmarks). The
+// writeback is a FlushOpt, not a Flush: the thread rewrites its record
+// every operation, so evicting the line would just churn it through a
+// refetch — keeping it resident is the oplog half of the PR-8 fence
+// coalescing (DESIGN.md §7.1).
 func (h *Heap) writeOplog(tid int, ts *threadState, op int, a uint32, b uint16, ver uint16) {
 	if h.cfg.NonRecoverable {
 		return
@@ -100,8 +111,29 @@ func (h *Heap) writeOplog(tid int, ts *threadState, op int, a uint32, b uint16, 
 	w := h.lay.oplogW(tid)
 	ts.cache.Store(w, packOp(op, a, b, ver))
 	if !h.coherent && !h.cfg.SkipOplogFlush {
-		ts.cache.Flush(w)
+		ts.cache.FlushOpt(w)
 		ts.cache.Fence()
+	}
+}
+
+// writeOplogDeferred records the operation WITHOUT its own fence: the
+// record is stored and written back, and the caller's single commit
+// fence makes it durable together with the operation's effects. This is
+// only legal when (a) every effect covered by the record is a SWcc
+// store by this same thread (so record and effects commit atomically at
+// the shared fence — the adversary cannot persist an effect without the
+// record, or vice versa, because neither is durable until the fence),
+// and (b) no crash point fires between this call and that fence. The
+// magazine pop uses it (DESIGN.md §7.2); everything multi-step stays on
+// the eager writeOplog.
+func (h *Heap) writeOplogDeferred(tid int, ts *threadState, op int, a uint32, b uint16, ver uint16) {
+	if h.cfg.NonRecoverable {
+		return
+	}
+	w := h.lay.oplogW(tid)
+	ts.cache.Store(w, packOp(op, a, b, ver))
+	if !h.coherent && !h.cfg.SkipOplogFlush {
+		ts.cache.FlushOpt(w)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"cxlalloc/internal/atomicx"
 	"cxlalloc/internal/xrand"
 )
 
@@ -80,41 +81,82 @@ func TestQuickNoOverlap(t *testing.T) {
 	}
 }
 
-// Property: a full alloc-all/free-all cycle returns the heap to a state
-// where the same cycle fits in the same number of slabs (no creep).
+// Property: repeated alloc-all/free-all cycles keep the footprint
+// within a fixed multiple of first-cycle demand — bounded retention,
+// never a leak.
+//
+// The bound is NOT flatness from cycle one: a remote free only
+// decrements the slab's countdown, so its block is stranded — in
+// neither the bitset nor any allocation — until the whole slab is
+// remotely freed and stolen (the §3.2.1 pathological pattern). A remote
+// cycle can therefore force the next local cycle to extend (seed
+// 0x9b133d8460ff1a9 walks this exactly: cycle-1 remote frees leave
+// fc=18 of 42 in one class, cycle 2 drains it, disowns, and extends);
+// the extension's fresh slabs can be stranded in turn, and a stolen
+// slab can park on the remote freer's unsized list (UnsizedThreshold
+// deep) where the allocating thread cannot reach it, so rare seeds
+// staircase for many cycles (one observed step at cycle 20). What is
+// bounded is the total: live demand (lens[0]) + one stranded
+// generation (≤ lens[0]) + the parked unsized slabs (≤ threshold).
+// The heap length is extend-only, so checking the final length after
+// enough cycles both enforces the bound and integrates any real leak
+// (a slab lost per local/remote pair blows past 2x within 32 cycles).
+func stableFootprint(t *testing.T, seed uint64, mode atomicx.Mode) ([]uint32, bool) {
+	cfg := testConfig()
+	cfg.Mode = mode
+	cfg.CheckInvariants = false
+	e := newEnv(t, cfg, 1, 2)
+	rng := xrand.New(seed)
+	sizes := make([]int, 60)
+	for i := range sizes {
+		sizes[i] = rng.IntRange(1, smallMax)
+	}
+	var lens []uint32
+	for cycle := 0; cycle < 32; cycle++ {
+		ptrs := make([]Ptr, len(sizes))
+		for i, size := range sizes {
+			p, err := e.h.Alloc(0, size)
+			if err != nil {
+				return lens, false
+			}
+			ptrs[i] = p
+		}
+		// Alternate local and remote frees between cycles.
+		freer := cycle % 2
+		for _, p := range ptrs {
+			e.h.Free(freer, p)
+		}
+		l, _ := e.h.HeapLengths(0)
+		lens = append(lens, l)
+	}
+	bound := 2*lens[0] + uint32(e.cfg.UnsizedThreshold)
+	return lens, lens[len(lens)-1] <= bound
+}
+
 func TestQuickStableFootprintAcrossCycles(t *testing.T) {
 	f := func(seed uint64) bool {
-		cfg := testConfig()
-		cfg.CheckInvariants = false
-		e := newEnv(t, cfg, 1, 2)
-		rng := xrand.New(seed)
-		sizes := make([]int, 60)
-		for i := range sizes {
-			sizes[i] = rng.IntRange(1, smallMax)
-		}
-		var lens []uint32
-		for cycle := 0; cycle < 3; cycle++ {
-			ptrs := make([]Ptr, len(sizes))
-			for i, size := range sizes {
-				p, err := e.h.Alloc(0, size)
-				if err != nil {
-					return false
-				}
-				ptrs[i] = p
-			}
-			// Alternate local and remote frees between cycles.
-			freer := cycle % 2
-			for _, p := range ptrs {
-				e.h.Free(freer, p)
-			}
-			l, _ := e.h.HeapLengths(0)
-			lens = append(lens, l)
-		}
-		// The second and third cycles must not grow the heap.
-		return lens[2] <= lens[1]+1
+		_, ok := stableFootprint(t, seed, atomicx.ModeDRAM)
+		return ok
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// The stranding seed above, pinned as a regression case on both the
+// coherent baseline and the SWcc path (where magazines retain up to one
+// bitset word per thread x class on top of the countdown stranding).
+func TestStableFootprintStrandingSeed(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mode atomicx.Mode
+	}{{"dram", atomicx.ModeDRAM}, {"swcc", atomicx.ModeSWFlush}} {
+		t.Run(tc.name, func(t *testing.T) {
+			lens, ok := stableFootprint(t, 0x9b133d8460ff1a9, tc.mode)
+			if !ok {
+				t.Fatalf("footprint exceeded its retention bound: lens = %v", lens)
+			}
+		})
 	}
 }
 

@@ -141,6 +141,17 @@ func (h *Heap) recoverThread(tid int, space *vas.Space, tok ClaimToken) (Recover
 	h.redo(ts, tid, op, a, b, ver, &report)
 	h.crashPoint(tid, "recover.post-redo")
 
+	// Reclaim the dead incarnation's magazines before the list rebuild,
+	// so the returned blocks are in the bitsets the rebuild scans
+	// (magazine.go). Must follow redo: the opMagAlloc handler reads the
+	// pre-reclaim mask to classify the in-flight pop.
+	h.small.reclaimMagazines(ts, tid)
+	h.large.reclaimMagazines(ts, tid)
+	// The volatile mirrors died with the thread; anything they claimed is
+	// back in the bitsets now, so a stale mirror surviving an in-process
+	// recovery must not resurrect those masks.
+	ts.mags = [2][]magSlot{}
+
 	// Rebuild single-writer and volatile state.
 	h.small.rebuildLocal(ts, tid)
 	h.crashPoint(tid, "recover.post-rebuild-small")
@@ -170,7 +181,7 @@ func (h *Heap) recoverThread(tid int, space *vas.Space, tok ClaimToken) (Recover
 	// every redo and rebuild finished: re-running recovery up to this
 	// point redoes the same idempotent work from the same record.
 	ts.cache.Store(h.lay.oplogW(tid), packOp(opNone, 0, 0, 0))
-	ts.cache.Flush(h.lay.oplogW(tid))
+	ts.cache.FlushOpt(h.lay.oplogW(tid))
 	ts.cache.Fence()
 	ts.alive = true
 	h.recoveries.Add(1)
@@ -308,6 +319,54 @@ func (h *Heap) redo(ts *threadState, tid, op int, a uint32, b uint16, ver uint16
 
 	case opSteal:
 		h.redoSteal(ts, tid, s, int(a))
+
+	case opMagRefill:
+		// Either phase may have committed. Nothing to redo in place:
+		// reclaimMagazines unions whatever mask became durable back into
+		// the bitset (idempotent against the pre-commit overlap window),
+		// and the rebuild scan recomputes the free count.
+
+	case opMagAlloc:
+		// The pop's record and mask-clear commit under one fence. If the
+		// durable mask still has the block's bit, the pop never happened
+		// (reclamation returns it); if the bit is cleared, the block was
+		// taken but the pointer never reached the application — report it
+		// for adoption, like opAllocBlock.
+		idx, block, class := int(a), int(b), int(ver)
+		maskW := s.magW(tid, class) + 1
+		mask := ts.cache.LoadFresh(maskW)
+		if mask&(1<<(uint(block)%64)) == 0 {
+			report.PendingAlloc = s.ptrOf(idx, block, class)
+			report.PendingSize = s.classes[class]
+		}
+
+	case opMagDrain:
+		// The union itself is repaired by reclamation (bits still in the
+		// durable mask re-union; a committed drain's cleared mask is a
+		// no-op). Like opDetach, a nested drain's record carries the
+		// in-flight block as ver = block+1 — the classic alloc's take when
+		// the drain ran inside a full transition, or the block being freed
+		// when it ran inside magFree's window re-target. Either way the
+		// crash left the block's pointer with the application: report it
+		// for adoption unless it is durably free — in the bitset, or
+		// re-unionable because the durable magazine window still covers
+		// its word and holds its bit. The word check matters: testing the
+		// bit position alone against a mask covering a different word
+		// would spuriously suppress the report on positional collisions.
+		if ver != 0 {
+			idx, block := int(a), int(ver-1)
+			class := int(b >> 8)
+			mw := s.magW(tid, class)
+			meta := ts.cache.LoadFresh(mw)
+			mask := ts.cache.LoadFresh(mw + 1)
+			covered := int(magMetaSlab(meta))-1 == idx &&
+				magMetaWord(meta) == block/64 &&
+				mask&(1<<(uint(block)%64)) != 0
+			if !s.blockBit(ts, idx, block) && !covered {
+				report.PendingAlloc = s.ptrOf(idx, block, class)
+				report.PendingSize = s.classes[class]
+			}
+		}
 
 	case opReserve:
 		// Region ownership is rebuilt from the reservation array scan.

@@ -37,6 +37,9 @@ type slabHeap struct {
 	descBase, descStride, bitsetWords int // SWcc descriptors
 	dataOff                           uint64
 	opBit                             int // opLargeBit for the large heap
+
+	magBase int // SWcc magazine lines (magazine.go)
+	magIdx  int // threadState.mags index for this heap
 }
 
 // --- geometry helpers ---
@@ -106,13 +109,22 @@ func (s *slabHeap) setOwnerClass(ts *threadState, idx int, owner uint16, class u
 	s.storeW0(ts, idx, packW0(w0Next(w), owner, class))
 }
 
-// flushDesc publishes (or invalidates) every line of slab idx's SWcc
-// descriptor. A flush of clean lines is a pure invalidation, so the same
-// call serves both "publish before giving up ownership" and "drop stale
-// copies before adopting a foreign slab".
+// flushDesc publishes every line of slab idx's SWcc descriptor and
+// fences: the publication half of the §3.2.2 discipline, for sites that
+// hand the slab (or fresh descriptor contents) to other threads.
 func (s *slabHeap) flushDesc(ts *threadState, idx int) {
 	ts.cache.FlushRange(s.descW0(idx), s.descStride)
 	ts.cache.Fence()
+}
+
+// invalidateDesc drops the thread's cached copy of slab idx's descriptor
+// WITHOUT a fence. Legal only when every cached descriptor line is clean
+// — the caller merely read — so there is nothing to publish; eviction
+// alone restores the re-fetch guarantee. This is the fence-coalescing
+// split (DESIGN.md §7.1): pure invalidations stop paying a drain fence,
+// while every dirty or ownership-transferring site keeps flushDesc.
+func (s *slabHeap) invalidateDesc(ts *threadState, idx int) {
+	ts.cache.FlushRange(s.descW0(idx), s.descStride)
 }
 
 // --- free bitset and count (owner-only access) ---
@@ -247,6 +259,22 @@ func (s *slabHeap) tlLen(ts *threadState, listW, limit int) int {
 // --- allocation (§3.1.1) ---
 
 func (s *slabHeap) alloc(ts *threadState, tid, class int) (Ptr, error) {
+	if s.h.magsEnabled() {
+		if p, ok := s.magPop(ts, tid, class); ok {
+			return p, nil
+		}
+		if s.magRefill(ts, tid, class) {
+			p, ok := s.magPop(ts, tid, class)
+			if !ok {
+				s.h.fail("%s heap: refilled magazine for class %d is empty", s.name, class)
+			}
+			return p, nil
+		}
+		// No refillable slab (sized list empty, or down to its last free
+		// block): the classic path below initializes or drains one — and
+		// keeps the classic crash points reachable under magazines, since
+		// every fresh slab's first block is allocated here.
+	}
 	sizedW := s.localW(tid, class)
 	total := s.blocksPer(class)
 	for {
@@ -266,7 +294,7 @@ func (s *slabHeap) alloc(ts *threadState, tid, class int) (Ptr, error) {
 		// taking the block but before the caller stores the pointer,
 		// recovery reports it as a pending allocation instead of
 		// leaking it.
-	s.h.writeOplog(tid, ts, s.opc(opAllocBlock), uint32(idx), uint16(block), 0)
+		s.h.writeOplog(tid, ts, s.opc(opAllocBlock), uint32(idx), uint16(block), 0)
 		s.cp(tid, "alloc.post-oplog")
 		s.setBlockBit(ts, idx, block, false)
 		fc := s.getFreeCount(ts, idx) - 1
@@ -291,6 +319,18 @@ func (s *slabHeap) alloc(ts *threadState, tid, class int) (Ptr, error) {
 // ver field as block+1 — redo reports it for adoption just as the
 // opAllocBlock redo would have.
 func (s *slabHeap) fullTransition(ts *threadState, tid, idx, class, total, block int) {
+	if m := s.magAt(ts, class); m != nil && int(m.slab) == idx+1 {
+		if m.mask != 0 {
+			// Classic allocs emptied the bitset around a live magazine
+			// (only reachable with the runtime toggle off). Drain it —
+			// the slab is no longer full, so no transition happens; the
+			// drain record carries the in-flight block like opDetach.
+			s.magDrain(ts, tid, class, block)
+			return
+		}
+		// Stale empty mirror: invalidate before the slab changes state.
+		m.slab = 0
+	}
 	remote := atomicx.Payload(s.h.dcas.Load(tid, s.hwBase+idx))
 	if remote == uint32(total) || s.h.cfg.NoDisown {
 		s.h.writeOplog(tid, ts, s.opc(opDetach), uint32(idx), uint16(class), uint16(block+1))
@@ -386,7 +426,9 @@ func (s *slabHeap) popGlobal(ts *threadState, tid int) bool {
 		s.cp(tid, "pop-global.pre-cas")
 		if s.h.dcas.CAS(tid, ver, s.freeW, headWord, next) {
 			s.cp(tid, "pop-global.post-cas")
-			s.flushDesc(ts, idx) // drop any stale cached lines
+			// Drop any stale cached lines; nothing is dirty yet, so no
+			// fence is owed (invalidateDesc vs flushDesc).
+			s.invalidateDesc(ts, idx)
 			s.pushUnsized(ts, tid, idx)
 			s.cp(tid, "pop-global.post-push")
 			return true
@@ -464,6 +506,17 @@ func (s *slabHeap) free(ts *threadState, tid int, p Ptr) int {
 		w0 = s.loadW0(ts, idx)
 	}
 	if w0Owner(w0) == uint16(tid+1) {
+		// A free landing inside the live magazine's window goes straight
+		// into the mask — one line, one fence, no descriptor traffic —
+		// and a window miss may re-target the magazine at the freed
+		// block's word (magAdopt). Routing here is safe against stale w0
+		// reads by the same §3.2.2 argument localFree relies on: only
+		// this thread relinquishes its own ownership, and its own stores
+		// are never stale in its own cache.
+		if class := w0Class(w0); class != 0 && s.h.magsEnabled() &&
+			s.magFree(ts, tid, idx, class, s.blockOf(p, idx, class)) {
+			return class
+		}
 		s.localFree(ts, tid, idx, p, w0)
 	} else {
 		s.remoteFree(ts, tid, idx)
@@ -502,6 +555,16 @@ func (s *slabHeap) localFree(ts *threadState, tid, idx int, p Ptr, w0 uint64) {
 // emptyTransition moves a fully free slab from the sized list to the
 // unsized list (clearing its class), possibly spilling to global.
 func (s *slabHeap) emptyTransition(ts *threadState, tid, idx, class int) {
+	if m := s.magAt(ts, class); m != nil && int(m.slab) == idx+1 {
+		// fc == total requires every block free in the bitset, and the
+		// mask is disjoint from the bitset — so the mask is empty here.
+		// Invalidate the mirror before the slab leaves the sized list.
+		if m.mask != 0 {
+			s.h.fail("%s heap: empty transition of slab %d with live magazine mask %#x",
+				s.name, idx, m.mask)
+		}
+		m.slab = 0
+	}
 	s.h.writeOplog(tid, ts, s.opc(opEmpty), uint32(idx), uint16(class), 0)
 	s.cp(tid, "empty.post-oplog")
 	s.tlUnlink(ts, s.localW(tid, class), idx)
@@ -539,7 +602,10 @@ func (s *slabHeap) remoteFree(ts *threadState, tid, idx int) {
 func (s *slabHeap) steal(ts *threadState, tid, idx int) {
 	s.h.writeOplog(tid, ts, s.opc(opSteal), uint32(idx), 0, 0)
 	s.cp(tid, "steal.post-oplog")
-	s.flushDesc(ts, idx) // drop stale cached lines before adopting
+	// Drop stale cached lines before adopting: a pure invalidation (our
+	// copies are clean), so no fence — the dirty owner-clear below goes
+	// through flushDesc, which fences.
+	s.invalidateDesc(ts, idx)
 	// The device still holds the w0 the old owner published at detach
 	// (owner = old owner). Durably clear it before the slab can be
 	// reinitialized: otherwise the old owner's next miss on this line
@@ -562,8 +628,9 @@ func (s *slabHeap) usableSize(ts *threadState, p Ptr) int {
 	// Evict the freshly fetched line: keeping it resident would pin a
 	// copy that turns stale if this slab is later stolen and
 	// reinitialized — if we are its detached owner, that stale copy
-	// would misroute a future free of the new incarnation.
-	s.flushDesc(ts, idx)
+	// would misroute a future free of the new incarnation. Clean lines,
+	// so no fence is owed.
+	s.invalidateDesc(ts, idx)
 	if class == 0 {
 		s.h.fail("%s heap: UsableSize(%#x) on unsized slab %d", s.name, p, idx)
 	}

@@ -81,6 +81,12 @@ type Cache struct {
 	lastIdx int32
 	lastPos uint32
 
+	// evTick is the flush/fence trace-sampling counter (telemetry
+	// SampleHot): EvFlush/EvFence are the highest-rate events in the
+	// system, so only every HotSamplePeriod-th one is recorded. The
+	// Flushes/Fences counters stay exact.
+	evTick uint32
+
 	// Per-line durability tracking (persist.go), enabled by the device's
 	// TrackPersist config. recent maps every line touched since the last
 	// completed Fence to its durable floor — the device image the line
@@ -356,7 +362,7 @@ func (c *Cache) LoadFresh(w int) uint64 {
 // uncached address).
 func (c *Cache) Flush(w int) {
 	c.stats.Flushes++
-	if telemetry.Enabled() {
+	if telemetry.Enabled() && telemetry.SampleHot(&c.evTick) {
 		telemetry.Emit(c.owner, telemetry.EvFlush, uint64(w), 0)
 	}
 	if c.dev.cfg.Coherent {
@@ -368,6 +374,27 @@ func (c *Cache) Flush(w int) {
 	}
 	c.writeback(&c.tab[pos])
 	c.evict(pos)
+}
+
+// FlushOpt writes back the dirty words of the line containing w but
+// keeps the line resident (CLWB to Flush's CLFLUSH). Durability-wise it
+// is identical to Flush — the dirty words reach device memory and the
+// next Fence commits them — but the line stays cached, so words a
+// thread rewrites every operation (the oplog record, a magazine line)
+// are not churned through evict + refetch. Flushing a clean or
+// non-resident line is a no-op, which is what coalesces duplicate
+// flushes of the same line for free: the dirty mask is the flush set.
+func (c *Cache) FlushOpt(w int) {
+	c.stats.Flushes++
+	if telemetry.Enabled() && telemetry.SampleHot(&c.evTick) {
+		telemetry.Emit(c.owner, telemetry.EvFlush, uint64(w), 0)
+	}
+	if c.dev.cfg.Coherent {
+		return
+	}
+	if pos, ok := c.find(int32(uint(w) >> lineShift)); ok {
+		c.writeback(&c.tab[pos])
+	}
 }
 
 // FlushRange flushes every line intersecting words [w, w+n).
@@ -387,7 +414,7 @@ func (c *Cache) FlushRange(w, n int) {
 // so Fence only records that the protocol required a fence here.
 func (c *Cache) Fence() {
 	c.stats.Fences++
-	if telemetry.Enabled() {
+	if telemetry.Enabled() && telemetry.SampleHot(&c.evTick) {
 		telemetry.Emit(c.owner, telemetry.EvFence, 0, 0)
 	}
 	if c.track && len(c.recent) > 0 {

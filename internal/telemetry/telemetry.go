@@ -118,12 +118,69 @@ func (k Kind) String() string {
 
 // Event is one fixed-size trace record: 24 bytes, no pointers, so a
 // ring of them is a single flat allocation the GC never scans.
+//
+// TS is coarse for high-rate kinds: hot events reuse their ring's last
+// published timestamp, refreshed every coarseEvery reservations, so the
+// per-event time.Now() that dominated enabled-tracing cost is paid on a
+// cadence instead (DESIGN.md §8). Rare kinds — everything crash,
+// recovery, and liveness — always take a precise stamp, so derived
+// spans (MTTR, availability) keep nanosecond edges.
 type Event struct {
-	TS   int64  // nanoseconds since the tracer started
+	TS   int64  // nanoseconds since the tracer started (coarse for hot kinds)
 	A    uint64 // primary argument (address, word, epoch…)
 	Arg  uint32 // secondary argument (class, attempt, point id…)
 	Kind Kind
 	TID  int16 // emitting thread; SystemTID for non-thread emitters
+}
+
+// hotKindMask marks the high-rate kinds: they take coarse timestamps in
+// emit, and their instrumentation sites sample 1-in-HotSamplePeriod via
+// SampleHot. Every other kind is rare, precisely stamped, and recorded
+// unconditionally.
+const hotKindMask = 1<<EvAlloc | 1<<EvFree | 1<<EvFlush | 1<<EvFence |
+	1<<EvMCASAttempt
+
+// coarseEvery is the hot-kind timestamp refresh cadence per ring.
+const coarseEvery = 64
+
+// hotMask is HotSamplePeriod-1. Instrumentation sites read it through
+// SampleHot without synchronization, so it must only be changed while no
+// workload is emitting (cxlbench sets it once at startup, before any
+// thread runs).
+var hotMask uint32 = 64 - 1
+
+// SetHotSamplePeriod sets the 1-in-n recording cadence instrumentation
+// sites apply to hot kinds (rounded up to a power of two; n <= 1 means
+// record every event, restoring full-fidelity traces). Exact operation
+// counts are unaffected — they live in the allocator ledger and cache
+// counters, not the ring — only ring density changes. Call it before
+// emitters start; it is read unsynchronized on the hot path.
+func SetHotSamplePeriod(n int) {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	hotMask = uint32(p - 1)
+}
+
+// HotSamplePeriod returns the current hot-kind sampling period.
+func HotSamplePeriod() int { return int(hotMask) + 1 }
+
+// SampleHot advances a caller-owned tick counter and reports whether
+// this event falls on the sampling cadence. The counter must be owned
+// by a single emitter (a thread's cache, a thread's op ledger); the
+// first event always samples true, so every kind a workload touches at
+// all appears in the trace.
+func SampleHot(tick *uint32) bool {
+	n := *tick
+	*tick = n + 1
+	return n&hotMask == 0
+}
+
+// SampleHotAtomic is SampleHot for emitters whose tick is shared across
+// threads (the pod-wide HW layer).
+func SampleHotAtomic(tick *atomic.Uint32) bool {
+	return (tick.Add(1)-1)&hotMask == 0
 }
 
 // SystemTID is the ring used for events emitted outside any simulated
@@ -140,8 +197,13 @@ const SystemTID = -1
 // stay exact either way; see DESIGN.md §8).
 type ring struct {
 	head atomic.Uint64
-	_    [7]uint64 // pad: keep heads of adjacent rings off one line
+	ts   atomic.Int64 // last published coarse timestamp (hot kinds reuse it)
+	_    [6]uint64    // pad: keep heads of adjacent rings off one line
 	ev   []Event
+	// counts is this ring's per-kind recorded-event tally. Keeping it
+	// per-ring (summed in Counts) removes the cross-thread contention a
+	// single global counter array had under parallel workloads.
+	counts [numKinds]atomic.Uint64
 }
 
 // Tracer records events into per-thread rings. Install with Start,
@@ -149,10 +211,9 @@ type ring struct {
 // valid after every emitting goroutine has quiesced (e.g. after the
 // workload's WaitGroup join) — the rings are written without locks.
 type Tracer struct {
-	start  time.Time
-	rings  []ring // index tid+1; rings[0] is the SystemTID ring
-	mask   uint64
-	counts [numKinds]atomic.Uint64
+	start time.Time
+	rings []ring // index tid+1; rings[0] is the SystemTID ring
+	mask  uint64
 
 	// Lossless retention side log (Keep). keepMask is a per-kind bit
 	// set; kept events of selected kinds are appended under keepMu so
@@ -192,16 +253,23 @@ func (t *Tracer) emit(tid int, kind Kind, a uint64, arg uint32) {
 	if ti := tid + 1; ti >= 1 && ti < len(t.rings) {
 		r = &t.rings[ti]
 	}
+	i := r.head.Add(1) - 1
+	var ts int64
+	if hotKindMask&(1<<uint(kind)) == 0 || i&(coarseEvery-1) == 0 {
+		ts = int64(time.Since(t.start))
+		r.ts.Store(ts)
+	} else {
+		ts = r.ts.Load()
+	}
 	ev := Event{
-		TS:   int64(time.Since(t.start)),
+		TS:   ts,
 		A:    a,
 		Arg:  arg,
 		Kind: kind,
 		TID:  int16(tid),
 	}
-	i := r.head.Add(1) - 1
 	r.ev[i&t.mask] = ev
-	t.counts[kind].Add(1)
+	r.counts[kind].Add(1)
 	if t.keepMask.Load()&(1<<uint(kind)) != 0 {
 		t.keepMu.Lock()
 		if len(t.kept) < keepCap {
@@ -316,11 +384,18 @@ func (t *Tracer) Dropped() uint64 {
 	return n
 }
 
-// Counts returns per-kind event totals.
+// Counts returns per-kind recorded-event totals (summed across rings).
+// Hot kinds are sampled at the instrumentation sites, so their totals
+// count recorded events, not operations — exact operation counts live
+// in the allocator ledger and cache counters (Snapshot).
 func (t *Tracer) Counts() map[string]uint64 {
 	m := make(map[string]uint64, int(numKinds))
 	for k := Kind(1); k < numKinds; k++ {
-		if n := t.counts[k].Load(); n > 0 {
+		var n uint64
+		for i := range t.rings {
+			n += t.rings[i].counts[k].Load()
+		}
+		if n > 0 {
 			m[k.String()] = n
 		}
 	}

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"cxlalloc/internal/bench"
+	"cxlalloc/internal/chaos"
+	"cxlalloc/internal/fabric"
+)
+
+// fabricOpts carries the fabricchaos flags into runFabricChaos. The
+// schedule flags (-duration, -fault-rate, -replay, -schedule-out) are
+// shared with livechaos; -pods/-fabric-shards/-fabric-mttr are
+// fabric-only and rejected by validateFlags without -exp fabricchaos.
+type fabricOpts struct {
+	pods      int
+	shards    int
+	mttrBound time.Duration
+	darkGrace time.Duration
+	duration  time.Duration
+	faultRate float64
+	replay    string
+	schedOut  string
+}
+
+var fabricFlags fabricOpts
+
+// runFabricChaos runs the multi-pod fabric gate: live traffic through
+// the shard router while the injector kills whole pods, fences pods
+// off, and crashes migrators mid-handoff; the fabric monitor is the
+// only recovery path. Gates: zero lost acked writes (fabric-wide
+// oracle), zero invariant violations per surviving pod, zero false
+// shard takeovers, bounded failover MTTR, and — in record mode — fault
+// coverage (at least one full pod kill and one interrupted migration).
+// Any gate failure is a hard error (non-zero exit).
+func runFabricChaos(sc bench.Scale, _ []string) ([]bench.Row, error) {
+	cfg := fabric.DefaultChaosConfig()
+	cfg.Seed = sc.Seed
+	if fabricFlags.pods > 0 {
+		cfg.Pods = fabricFlags.pods
+	}
+	if fabricFlags.shards > 0 {
+		cfg.Shards = fabricFlags.shards
+	}
+	if fabricFlags.mttrBound > 0 {
+		cfg.MTTRBound = fabricFlags.mttrBound
+	}
+	if fabricFlags.darkGrace > 0 {
+		cfg.DarkGrace = fabricFlags.darkGrace
+	}
+	if fabricFlags.duration > 0 {
+		cfg.Duration = fabricFlags.duration
+	}
+	if fabricFlags.faultRate > 0 {
+		cfg.FaultRate = fabricFlags.faultRate
+	}
+	if fabricFlags.replay != "" {
+		specs, err := chaos.LoadSchedule(fabricFlags.replay)
+		if err != nil {
+			return nil, fmt.Errorf("fabricchaos: %v", err)
+		}
+		if len(specs) == 0 {
+			return nil, fmt.Errorf("fabricchaos: %s holds no fault specs", fabricFlags.replay)
+		}
+		cfg.Replay = specs
+	}
+
+	rep, err := fabric.RunChaos(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Print(fabric.FormatChaosReport(rep))
+
+	if fabricFlags.schedOut != "" {
+		if err := chaos.SaveSchedule(fabricFlags.schedOut, rep.Schedule); err != nil {
+			return nil, fmt.Errorf("fabricchaos: writing schedule: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d fault specs to %s\n", len(rep.Schedule), fabricFlags.schedOut)
+	}
+
+	s := rep.Fabric
+	row := bench.Row{
+		Experiment: "fabricchaos",
+		Workload:   "online",
+		Allocator:  "cxlalloc-mcas",
+		Threads:    rep.Threads,
+		Procs:      rep.Procs,
+		Ops:        int(rep.Ops),
+		ElapsedSec: rep.Elapsed.Seconds(),
+		Throughput: rep.Throughput,
+		Extra: map[string]string{
+			"seed":                  fmt.Sprint(rep.Seed),
+			"pods":                  fmt.Sprint(rep.Pods),
+			"shards":                fmt.Sprint(rep.Shards),
+			"latency_p50":           rep.LatencyP50.String(),
+			"latency_p99":           rep.LatencyP99.String(),
+			"acked":                 fmt.Sprint(rep.Acked),
+			"retries":               fmt.Sprint(rep.Retries),
+			"pod_kills":             fmt.Sprint(rep.PodKills),
+			"pod_fences":            fmt.Sprint(rep.PodFences),
+			"mig_interrupts":        fmt.Sprint(rep.MigInterrupts),
+			"failovers":             fmt.Sprint(s.Failovers),
+			"mig_flips":             fmt.Sprint(s.MigFlips),
+			"mig_retakes":           fmt.Sprint(s.MigRetakes),
+			"router_rejects":        fmt.Sprint(s.RouterRejects),
+			"mttr_p50":              rep.MTTRP50.Round(time.Millisecond).String(),
+			"mttr_max":              rep.MTTRMax.Round(time.Millisecond).String(),
+			"violations":            fmt.Sprint(len(rep.Violations)),
+			"lost_acks":             fmt.Sprint(len(rep.LostAcks)),
+			"false_shard_takeovers": fmt.Sprint(s.FalseShardTakeovers),
+			"false_takeovers":       fmt.Sprint(rep.ThreadFalseTakeovers),
+			"replayed":              fmt.Sprint(rep.Replayed),
+			"replay_ok":             fmt.Sprint(rep.ReplayOK),
+		},
+	}
+	rows := []bench.Row{row}
+	if !rep.Ok() {
+		return rows, fmt.Errorf("fabricchaos gate failed: %d violations, %d lost acks, %d false shard takeovers, MTTR max %v (bound %v)",
+			len(rep.Violations), len(rep.LostAcks), s.FalseShardTakeovers, rep.MTTRMax, rep.MTTRBound)
+	}
+	if rep.Replayed && !rep.ReplayOK {
+		return rows, fmt.Errorf("fabricchaos replay gate failed: emitted schedule differs from %s", fabricFlags.replay)
+	}
+	if !rep.Replayed && (rep.PodKills < 1 || rep.MigInterrupts < 1) {
+		return rows, fmt.Errorf("fabricchaos coverage gate failed: %d pod kills, %d mig interrupts (need >= 1 of each; lengthen -duration or raise -fault-rate)",
+			rep.PodKills, rep.MigInterrupts)
+	}
+	return rows, nil
+}

@@ -115,6 +115,7 @@ var experiments = []expDef{
 	{"livechaos", "online chaos gate: live traffic, fault injection, watchdog-only recovery, lost-ack oracle", false, func(sc bench.Scale, _ []string) ([]bench.Row, error) { return runLiveChaos(sc) }},
 	{"slo", "open-loop overload sweep through the KV service front end (goodput, p99, shed/retry gates)", false, runSLO},
 	{"slochaos", "service gate under process-group kills at 2x load (breaker + lost-ack gates)", false, runSLOChaos},
+	{"fabricchaos", "multi-pod fabric gate: pod kills, fences, interrupted migrations under live traffic (failover + lost-ack + replay gates)", false, runFabricChaos},
 }
 
 func findExp(name string) *expDef {
@@ -152,10 +153,14 @@ func main() {
 		traceOut    = flag.String("trace", "", "record a Chrome trace_event JSON of the run to this file (open in chrome://tracing or ui.perfetto.dev)")
 		traceCap    = flag.Int("trace-cap", 1<<20, "per-thread trace ring capacity (events) for -trace; rounds up to a power of two")
 		metricsOut  = flag.String("metrics", "", "append unified metrics snapshots (NDJSON, one per measured cxlalloc cell) to this file")
-		duration    = flag.Duration("duration", 0, "livechaos: traffic window (default 10s)")
-		faultRate   = flag.Float64("fault-rate", 0, "livechaos: mean fault injections per second (default 1.2)")
-		replayPath  = flag.String("replay", "", "livechaos: replay this NDJSON fault schedule instead of recording one")
-		schedOut    = flag.String("schedule-out", "", "livechaos: write the run's fault schedule to this NDJSON file")
+		duration    = flag.Duration("duration", 0, "livechaos/fabricchaos: traffic window (default 10s)")
+		faultRate   = flag.Float64("fault-rate", 0, "livechaos/fabricchaos: mean fault injections per second (defaults 1.2 / 0.8)")
+		replayPath  = flag.String("replay", "", "livechaos/fabricchaos: replay this NDJSON fault schedule instead of recording one")
+		schedOut    = flag.String("schedule-out", "", "livechaos/fabricchaos: write the run's fault schedule to this NDJSON file")
+		pods        = flag.Int("pods", 0, "fabricchaos: pod count (default 3)")
+		fabShards   = flag.Int("fabric-shards", 0, "fabricchaos: keyspace shard count (default 16)")
+		fabMTTR     = flag.Duration("fabric-mttr", 0, "fabricchaos: failover MTTR gate bound (default 10s)")
+		fabGrace    = flag.Duration("fabric-grace", 0, "fabricchaos: pod dark-detection grace (default 250ms; raise on heavily shared machines to avoid benign false takeovers)")
 		leaseWall   = flag.Duration("lease", 0, "livechaos/slochaos: target lease wall-clock expiry (default 400ms; raise on heavily shared machines to avoid benign claim storms)")
 		sloWindow   = flag.Duration("slo-window", 0, "slo: measured window per rate point (default 1.5s)")
 		sloDead     = flag.Duration("slo-deadline", 0, "slo: per-request deadline budget (default 25ms)")
@@ -206,6 +211,16 @@ func main() {
 		rates:    *sloRates,
 		clients:  *sloClients,
 		queueCap: *sloQueue,
+	}
+	fabricFlags = fabricOpts{
+		pods:      *pods,
+		shards:    *fabShards,
+		mttrBound: *fabMTTR,
+		darkGrace: *fabGrace,
+		duration:  *duration,
+		faultRate: *faultRate,
+		replay:    *replayPath,
+		schedOut:  *schedOut,
 	}
 
 	exps := strings.Split(*exp, ",")
@@ -428,8 +443,11 @@ func validateFlags(exps []string) error {
 		}
 	}
 	if liveFlags.replay != "" {
-		if !named["livechaos"] {
-			return fmt.Errorf("-replay is only meaningful with -exp livechaos")
+		if !named["livechaos"] && !named["fabricchaos"] {
+			return fmt.Errorf("-replay is only meaningful with -exp livechaos or -exp fabricchaos")
+		}
+		if named["livechaos"] && named["fabricchaos"] {
+			return fmt.Errorf("-replay names one schedule; run livechaos and fabricchaos replays separately")
 		}
 		if _, err := os.Stat(liveFlags.replay); err != nil {
 			return fmt.Errorf("-replay schedule %s: %v", liveFlags.replay, err)
@@ -437,6 +455,9 @@ func validateFlags(exps []string) error {
 		if liveFlags.schedOut == liveFlags.replay {
 			return fmt.Errorf("-schedule-out and -replay name the same file %s", liveFlags.replay)
 		}
+	}
+	if (fabricFlags.pods != 0 || fabricFlags.shards != 0 || fabricFlags.mttrBound != 0 || fabricFlags.darkGrace != 0) && !named["fabricchaos"] {
+		return fmt.Errorf("-pods/-fabric-shards/-fabric-mttr/-fabric-grace are only meaningful with -exp fabricchaos")
 	}
 	if _, err := parseRates(sloFlags.rates); err != nil {
 		return err

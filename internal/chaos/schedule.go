@@ -35,6 +35,21 @@ const (
 	// on the NMP unit; traffic must ride through on the sw_flush_cas
 	// fallback.
 	FaultNMPBurst FaultKind = "nmp-burst"
+
+	// Fabric faults (fabricchaos). FaultPodKill arms every live thread
+	// of one pod; once all have died in-op every process of the pod is
+	// killed, its heartbeat plane stalls, and the fabric monitor must
+	// fail its shards over to surviving pods.
+	FaultPodKill FaultKind = "pod-kill"
+	// FaultPodFence partitions one pod: its device is unreachable for
+	// both traffic and failover copies. The fabric must hold the pod's
+	// shards dark (no false takeover — the bytes cannot be rescued
+	// through a partition) until the fence heals after HealTicks.
+	FaultPodFence FaultKind = "pod-fence"
+	// FaultMigInterrupt starts a live shard migration and kills the
+	// migrator after it completes Step; the stalled handoff must be
+	// re-claimed and re-driven by the monitor.
+	FaultMigInterrupt FaultKind = "mig-interrupt"
 )
 
 // FaultSpec is one planned injection, NDJSON-serializable.
@@ -53,6 +68,14 @@ type FaultSpec struct {
 	// NMP bursts.
 	NMPMode  string `json:"nmp_mode,omitempty"` // "timeout" | "unavailable"
 	NMPCount int    `json:"nmp_count,omitempty"`
+
+	// Fabric faults. All omitempty so single-pod schedules stay
+	// byte-identical to their pre-fabric encoding.
+	Pod       int    `json:"pod,omitempty"`        // pod-kill/pod-fence: target pod
+	Shard     int    `json:"shard,omitempty"`      // mig-interrupt: shard to migrate
+	TargetPod int    `json:"target_pod,omitempty"` // mig-interrupt: destination pod
+	Step      string `json:"step,omitempty"`       // mig-interrupt: die after this step
+	HealTicks uint64 `json:"heal_ticks,omitempty"` // pod-fence: fabric-clock ticks until heal
 }
 
 // FaultOutcome records what one spec actually did in this run.
@@ -115,6 +138,11 @@ func SaveSchedule(path string, specs []FaultSpec) error {
 	return f.Close()
 }
 
+// SameSchedule reports whether two schedules are identical — the
+// replay gate for harnesses outside this package (fabricchaos): a
+// replayed run must emit exactly the schedule it loaded.
+func SameSchedule(a, b []FaultSpec) bool { return sameSchedule(a, b) }
+
 // sameSchedule reports whether two schedules are identical — the replay
 // gate: a replayed run must emit exactly the schedule it loaded.
 func sameSchedule(a, b []FaultSpec) bool {
@@ -125,7 +153,9 @@ func sameSchedule(a, b []FaultSpec) bool {
 		x, y := a[i], b[i]
 		if x.I != y.I || x.AtTick != y.AtTick || x.Kind != y.Kind ||
 			x.Proc != y.Proc || x.ArmProb != y.ArmProb || x.ArmSeed != y.ArmSeed ||
-			x.PersistSeed != y.PersistSeed || x.NMPMode != y.NMPMode || x.NMPCount != y.NMPCount {
+			x.PersistSeed != y.PersistSeed || x.NMPMode != y.NMPMode || x.NMPCount != y.NMPCount ||
+			x.Pod != y.Pod || x.Shard != y.Shard || x.TargetPod != y.TargetPod ||
+			x.Step != y.Step || x.HealTicks != y.HealTicks {
 			return false
 		}
 		if len(x.Victims) != len(y.Victims) {

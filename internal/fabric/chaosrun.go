@@ -1,0 +1,994 @@
+package fabric
+
+// The fabricchaos experiment: live closed-loop traffic through the
+// fabric router while a seeded injector kills whole pods, fences pods
+// off, and crashes migrators mid-handoff. Recovery is monitor-only —
+// the harness never moves a shard or rescues a slot itself. Gates: no
+// acked write lost (fabric-wide oracle), no invariant violation on any
+// surviving pod, zero false shard takeovers, bounded failover MTTR,
+// and bit-for-bit schedule reproduction under -replay.
+//
+// Crash persistence stays at the default PersistAll: the adversarial
+// persist-subset drop is livechaos's subject (single-pod recovery);
+// here the adversary is placement — which pod is dark, which handoff
+// was interrupted where — and PersistAll keeps the two experiments'
+// failure surfaces disjoint.
+//
+// The harness lives in package fabric (not chaos) because the import
+// DAG runs fabric -> server -> chaos; it reuses chaos's fault
+// schedule, oracle, and value codec through their exported surface.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cxlalloc"
+	"cxlalloc/internal/chaos"
+	"cxlalloc/internal/crash"
+	"cxlalloc/internal/server"
+	"cxlalloc/internal/telemetry"
+	"cxlalloc/internal/xrand"
+)
+
+// ChaosConfig parameterizes one fabricchaos run.
+type ChaosConfig struct {
+	Pods    int
+	Threads int
+	Procs   int
+	Shards  int
+	Keys    int
+	Issuers int // client connections (single-writer key partitions)
+	Seed    uint64
+
+	// Duration is the live-traffic window (injection stops a little
+	// earlier so the last failover lands inside the window).
+	Duration time.Duration
+	// FaultRate is the mean injections per second in record mode.
+	FaultRate float64
+	// Replay, when non-nil, executes this schedule verbatim instead of
+	// drawing faults; the run ends when the schedule is exhausted.
+	Replay []chaos.FaultSpec
+
+	Deadline  time.Duration // per-request budget
+	Calibrate time.Duration // fault-free warmup measuring the fabric tick rate
+	FenceWall time.Duration // wall-clock target a pod-fence stays up (converted to HealTicks)
+
+	DarkGrace time.Duration // fabric monitor: heartbeat stall before dark
+	MigStall  time.Duration // fabric monitor: claim age before retake
+	MTTRBound time.Duration // gate: max acceptable failover MTTR
+}
+
+// DefaultChaosConfig sizes a run for the CLI default: ~7 faults over
+// 10s across 3 pods.
+func DefaultChaosConfig() ChaosConfig {
+	return ChaosConfig{
+		Pods:      3,
+		Threads:   4,
+		Procs:     2,
+		Shards:    16,
+		Keys:      384,
+		Issuers:   6,
+		Seed:      2026,
+		Duration:  10 * time.Second,
+		FaultRate: 0.8,
+		Deadline:  50 * time.Millisecond,
+		Calibrate: 250 * time.Millisecond,
+		FenceWall: 600 * time.Millisecond,
+		DarkGrace: 250 * time.Millisecond,
+		MigStall:  100 * time.Millisecond,
+		MTTRBound: 10 * time.Second,
+	}
+}
+
+func (c ChaosConfig) withDefaults() ChaosConfig {
+	d := DefaultChaosConfig()
+	if c.Pods == 0 {
+		c.Pods = d.Pods
+	}
+	if c.Threads == 0 {
+		c.Threads = d.Threads
+	}
+	if c.Procs == 0 {
+		c.Procs = d.Procs
+	}
+	if c.Shards == 0 {
+		c.Shards = d.Shards
+	}
+	if c.Keys == 0 {
+		c.Keys = d.Keys
+	}
+	if c.Issuers == 0 {
+		c.Issuers = d.Issuers
+	}
+	if c.Seed == 0 {
+		c.Seed = d.Seed
+	}
+	if c.Duration == 0 {
+		c.Duration = d.Duration
+	}
+	if c.FaultRate == 0 {
+		c.FaultRate = d.FaultRate
+	}
+	if c.Deadline == 0 {
+		c.Deadline = d.Deadline
+	}
+	if c.Calibrate == 0 {
+		c.Calibrate = d.Calibrate
+	}
+	if c.FenceWall == 0 {
+		c.FenceWall = d.FenceWall
+	}
+	if c.DarkGrace == 0 {
+		c.DarkGrace = d.DarkGrace
+	}
+	if c.MigStall == 0 {
+		c.MigStall = d.MigStall
+	}
+	if c.MTTRBound == 0 {
+		c.MTTRBound = d.MTTRBound
+	}
+	return c
+}
+
+func (c ChaosConfig) validate() error {
+	if c.Pods < 3 {
+		return fmt.Errorf("fabric: fabricchaos needs >= 3 pods (got %d): a pod kill must leave >= 2 survivors", c.Pods)
+	}
+	if c.Keys < 2*c.Issuers {
+		return fmt.Errorf("fabric: fabricchaos needs Keys >= 2*Issuers (got %d/%d)", c.Keys, c.Issuers)
+	}
+	return nil
+}
+
+// ChaosReport is one fabricchaos run's full outcome.
+type ChaosReport struct {
+	Pods, Threads, Procs, Shards, Keys, Issuers int
+	Seed                                        uint64
+	Duration, Elapsed                           time.Duration
+	Replayed                                    bool
+
+	// Traffic.
+	Ops, Acked, Failed, Crashed uint64
+	Puts, Gets, Deletes         uint64
+	Retries                     uint64 // client resubmissions (reroutes included)
+	Throughput                  float64
+	LatencyP50, LatencyP99      time.Duration
+
+	// Injection coverage (faults that fully applied).
+	PodKills, PodFences, MigInterrupts int
+
+	// Fabric counters and recovery metrics.
+	Fabric               Stats
+	ThreadFalseTakeovers uint64 // intra-pod watchdog ground truth, summed
+	MTTRCount            int
+	MTTRP50, MTTRMax     time.Duration
+	MTTRBound            time.Duration
+	PendingAllocs        int
+
+	// Schedule (record or replayed) and per-spec outcomes.
+	Schedule []chaos.FaultSpec
+	Outcomes []chaos.FaultOutcome
+	ReplayOK bool
+
+	// Gates.
+	Violations []string
+	LostAcks   []string
+}
+
+// Ok reports whether every correctness gate passed.
+func (r *ChaosReport) Ok() bool {
+	return len(r.Violations) == 0 && len(r.LostAcks) == 0 &&
+		r.Fabric.FalseShardTakeovers == 0 && r.ThreadFalseTakeovers == 0 &&
+		(r.MTTRCount == 0 || r.MTTRMax <= r.MTTRBound) &&
+		(!r.Replayed || r.ReplayOK)
+}
+
+const (
+	fcArmProb      = 0.02             // per-crash-point firing probability for armed victims
+	fcKillWait     = 15 * time.Second // arming -> death deadline before downgrading the fault
+	fcConvergeWait = 60 * time.Second // stop -> fabric quiesced deadline (violation past this)
+	fcTailGrace    = 2 * time.Second  // injection stops this early so failovers land in-window
+	fcLanes        = 4                // connection lanes per issuer
+)
+
+// chaosRun is the shared runtime state of one fabricchaos run.
+type chaosRun struct {
+	cfg  ChaosConfig
+	f    *Fabric
+	injs []*crash.Injector
+	orc  *chaos.AckOracle
+
+	issuers []*chaosIssuer
+	stop    atomic.Bool
+
+	tickRate float64 // fabric ticks per wall second, from calibration
+
+	healWG sync.WaitGroup
+
+	gateMu     sync.Mutex
+	violations []string
+	lostAcks   []string
+
+	schedule []chaos.FaultSpec
+	outcomes []chaos.FaultOutcome
+}
+
+func (r *chaosRun) violation(msg string) {
+	r.gateMu.Lock()
+	if len(r.violations) < 64 {
+		r.violations = append(r.violations, msg)
+	}
+	r.gateMu.Unlock()
+}
+
+func (r *chaosRun) lostAck(msg string) {
+	r.gateMu.Lock()
+	if len(r.lostAcks) < 64 {
+		r.lostAcks = append(r.lostAcks, msg)
+	}
+	r.gateMu.Unlock()
+}
+
+// chaosIssuer is one client connection: a single-writer key partition
+// driven by fcLanes closed-loop lanes sharing one retry-budgeted
+// Client.
+type chaosIssuer struct {
+	run     *chaosRun
+	id      int
+	keysPer int
+	client  *server.Client
+
+	prepMu sync.Mutex
+	rng    *xrand.Rand
+
+	busyMu sync.Mutex
+	busy   map[int]bool
+
+	histMu sync.Mutex
+	hist   *telemetry.Hist
+
+	ops, acked, failed, crashed atomic.Uint64
+	puts, gets, dels            atomic.Uint64
+}
+
+// prepare draws the next op: 50% reads over the whole keyspace, else a
+// write on the issuer's own partition (single-writer-per-key for the
+// oracle), with ~30% of writes on present keys issued as deletes.
+// Writes landing only on busy keys degrade to reads.
+func (is *chaosIssuer) prepare(req *server.Request) {
+	is.prepMu.Lock()
+	defer is.prepMu.Unlock()
+	req.Reset()
+	req.Deadline = is.run.cfg.Deadline
+	asRead := func(k int) {
+		req.Op = server.OpGet
+		req.KeyID = k
+		req.Key = chaos.KeyBytes(req.Key, k)
+	}
+	if is.rng.Intn(100) < 50 {
+		asRead(is.rng.Intn(is.run.cfg.Keys))
+		return
+	}
+	k := -1
+	for try := 0; try < 4; try++ {
+		cand := is.rng.Intn(is.keysPer)*len(is.run.issuers) + is.id
+		is.busyMu.Lock()
+		if !is.busy[cand] {
+			is.busy[cand] = true
+			is.busyMu.Unlock()
+			k = cand
+			break
+		}
+		is.busyMu.Unlock()
+	}
+	if k < 0 {
+		asRead(is.rng.Intn(is.run.cfg.Keys))
+		return
+	}
+	req.KeyID = k
+	req.Key = chaos.KeyBytes(req.Key, k)
+	ver, present := is.run.orc.Current(k)
+	if present && is.rng.Intn(100) < 30 {
+		req.Op = server.OpDelete
+		req.PrevVer = ver
+		is.run.orc.BeginDelete(k)
+		return
+	}
+	nv := is.run.orc.NextVersion(k)
+	req.Op = server.OpPut
+	req.Val = chaos.EncodeVal(req.Val, k, nv)
+	is.run.orc.BeginPut(k, nv)
+}
+
+// finalize settles one response against the oracle: ack on success,
+// resolve from the server's ground truth after a crash, resolve
+// not-applied on any typed rejection (the op never executed).
+func (is *chaosIssuer) finalize(req *server.Request, fired time.Time, resp *server.Response) {
+	r := is.run
+	k := req.KeyID
+	isWrite := req.Op != server.OpGet
+	is.ops.Add(1)
+	switch {
+	case resp.Err == nil:
+		is.histMu.Lock()
+		is.hist.Observe(resp.DoneWall.Sub(fired))
+		is.histMu.Unlock()
+		is.acked.Add(1)
+		switch req.Op {
+		case server.OpPut:
+			is.puts.Add(1)
+			r.orc.Ack(k)
+		case server.OpDelete:
+			is.dels.Add(1)
+			if !resp.Found {
+				r.lostAck(fmt.Sprintf("key %d: acked ver %d vanished before delete", k, req.PrevVer))
+			}
+			r.orc.Ack(k)
+		default:
+			is.gets.Add(1)
+			if resp.Found {
+				if _, err := chaos.DecodeVal(k, resp.Value); err != nil {
+					r.violation(fmt.Sprintf("key %d: read corrupt: %v", k, err))
+				}
+			}
+		}
+	case errors.Is(resp.Err, server.ErrCrashed):
+		is.crashed.Add(1)
+		if isWrite {
+			r.orc.Resolve(k, resp.Applied)
+		}
+	default:
+		is.failed.Add(1)
+		if isWrite {
+			r.orc.Resolve(k, false)
+		}
+	}
+	if isWrite {
+		is.busyMu.Lock()
+		delete(is.busy, k)
+		is.busyMu.Unlock()
+	}
+}
+
+func (is *chaosIssuer) lane(wg *sync.WaitGroup) {
+	defer wg.Done()
+	req := server.NewRequest()
+	for !is.run.stop.Load() {
+		is.prepare(req)
+		fired := time.Now()
+		resp := is.client.Do(req)
+		is.finalize(req, fired, resp)
+	}
+}
+
+// preload fills half the keyspace through the router so every shard
+// starts with data on its placed owner.
+func (r *chaosRun) preload() error {
+	c := server.NewClient(r.f, r.cfg.Seed^0x9a7e)
+	req := server.NewRequest()
+	for k := 0; k < r.cfg.Keys/2; k++ {
+		ver := r.orc.NextVersion(k)
+		req.Reset()
+		req.Deadline = time.Second
+		req.Op = server.OpPut
+		req.KeyID = k
+		req.Key = chaos.KeyBytes(req.Key, k)
+		req.Val = chaos.EncodeVal(req.Val, k, ver)
+		r.orc.BeginPut(k, ver)
+		resp := c.Do(req)
+		if resp.Err != nil {
+			r.orc.Resolve(k, false)
+			return fmt.Errorf("fabric: preload key %d: %w", k, resp.Err)
+		}
+		r.orc.Ack(k)
+	}
+	return nil
+}
+
+// RunChaos executes one fabricchaos run.
+func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	injs := make([]*crash.Injector, cfg.Pods)
+	for i := range injs {
+		injs[i] = crash.NewInjector()
+	}
+	f, err := New(Config{
+		Pods: cfg.Pods, Threads: cfg.Threads, Procs: cfg.Procs, Shards: cfg.Shards,
+		Seed: cfg.Seed, DarkGrace: cfg.DarkGrace, MigStall: cfg.MigStall,
+		DecodeVer: chaos.DecodeVal, Injectors: injs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r := &chaosRun{cfg: cfg, f: f, injs: injs, orc: chaos.NewAckOracle(cfg.Keys)}
+	defer f.Stop()
+
+	keysPer := cfg.Keys / cfg.Issuers
+	for i := 0; i < cfg.Issuers; i++ {
+		r.issuers = append(r.issuers, &chaosIssuer{
+			run:     r,
+			id:      i,
+			keysPer: keysPer,
+			client:  server.NewClient(f, cfg.Seed^uint64(i)*0xa0761d6478bd642f),
+			rng:     xrand.New(xrand.Mix(cfg.Seed) ^ xrand.Mix(uint64(i)+0xfab)),
+			busy:    make(map[int]bool),
+			hist:    new(telemetry.Hist),
+		})
+	}
+	if err := r.preload(); err != nil {
+		return nil, err
+	}
+
+	// Phase 1 — traffic starts, and a fault-free warmup measures the
+	// fabric tick rate (pod-fence heal times are denominated in fabric
+	// ticks so replay paces on the same logical timeline).
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, is := range r.issuers {
+		for l := 0; l < fcLanes; l++ {
+			wg.Add(1)
+			go is.lane(&wg)
+		}
+	}
+	c0, t0 := f.Tick(), time.Now()
+	time.Sleep(cfg.Calibrate)
+	c1, t1 := f.Tick(), time.Now()
+	r.tickRate = float64(c1-c0) / t1.Sub(t0).Seconds()
+	if r.tickRate <= 0 {
+		r.violation("calibration: fabric clock did not advance under traffic")
+	}
+
+	// Phase 2 — injection.
+	injDone := make(chan struct{})
+	go func() {
+		defer close(injDone)
+		r.injectorLoop(start)
+	}()
+	if cfg.Replay == nil {
+		time.Sleep(cfg.Duration)
+	} else {
+		select {
+		case <-injDone:
+			time.Sleep(fcTailGrace)
+		case <-time.After(4 * cfg.Duration):
+			r.violation("replay: schedule not exhausted within 4x duration")
+		}
+	}
+
+	// Phase 3 — convergence: stop issuing, let scheduled heals land
+	// (then force any stragglers), and wait for the fabric to quiesce —
+	// no handoff in flight, every shard serving from a routable owner,
+	// every crashed write settled.
+	r.stop.Store(true)
+	<-injDone
+	r.healWG.Wait()
+	for i := 0; i < cfg.Pods; i++ {
+		f.HealPod(i) // no-op unless a fence survived the window
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	convDeadline := time.Now().Add(fcConvergeWait)
+	for {
+		var pends int64
+		for i := 0; i < cfg.Pods; i++ {
+			pends += f.Server(i).PendingCrashed()
+		}
+		if f.Quiesced() && pends == 0 {
+			break
+		}
+		if time.Now().After(convDeadline) {
+			if !f.Quiesced() {
+				r.violation(fmt.Sprintf("convergence: fabric not quiesced after %v", fcConvergeWait))
+			}
+			if pends > 0 {
+				r.violation(fmt.Sprintf("convergence: %d crashed writes unsettled after %v", pends, fcConvergeWait))
+			}
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	f.Stop()
+
+	// Phase 4 — audit at quiescence.
+	return r.audit(elapsed), nil
+}
+
+// --- injector --------------------------------------------------------
+
+func (r *chaosRun) injectorLoop(start time.Time) {
+	if r.cfg.Replay != nil {
+		for _, spec := range r.cfg.Replay {
+			if r.stop.Load() {
+				return
+			}
+			r.waitTick(spec.AtTick)
+			out := r.apply(spec)
+			r.schedule = append(r.schedule, spec)
+			r.outcomes = append(r.outcomes, out)
+		}
+		return
+	}
+	rng := xrand.New(xrand.Mix(r.cfg.Seed ^ 0xfab81cc0de))
+	tail := fcTailGrace
+	if tail > r.cfg.Duration/4 {
+		tail = r.cfg.Duration / 4
+	}
+	end := start.Add(r.cfg.Duration - tail)
+	i := 0
+	for {
+		mean := time.Duration(float64(time.Second) / r.cfg.FaultRate)
+		gap := time.Duration((0.5 + rng.Float64()) * float64(mean))
+		if !r.sleepUnlessStopped(gap) || time.Now().After(end) {
+			return
+		}
+		spec, ok := r.plan(i, rng)
+		if !ok {
+			continue // nothing eligible right now; retry after another gap
+		}
+		spec.AtTick = r.f.Tick()
+		out := r.apply(spec)
+		r.schedule = append(r.schedule, spec)
+		r.outcomes = append(r.outcomes, out)
+		i++
+	}
+}
+
+func (r *chaosRun) sleepUnlessStopped(d time.Duration) bool {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if r.stop.Load() {
+			return false
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return !r.stop.Load()
+}
+
+// waitTick blocks until the fabric clock reaches at (replay pacing and
+// fence-heal scheduling). The fabric clock advances as long as any pod
+// serves, so a healthy run cannot spin here; the wall deadline bounds
+// the pathological case.
+func (r *chaosRun) waitTick(at uint64) {
+	deadline := time.Now().Add(fcKillWait)
+	for r.f.Tick() < at && time.Now().Before(deadline) {
+		if r.stop.Load() {
+			return
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+func (r *chaosRun) healthyPods() []int {
+	var out []int
+	for p := 0; p < r.cfg.Pods; p++ {
+		if r.f.Endpoint(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// plan draws fault i from the seeded stream. The first three faults
+// are a fixed rotation — mig-interrupt, pod-kill, pod-fence — so even
+// a short run covers every fault class; afterwards the mix is random.
+// Ineligible kinds downgrade to mig-interrupt so the stream stays
+// productive.
+func (r *chaosRun) plan(i int, rng *xrand.Rand) (chaos.FaultSpec, bool) {
+	var kind chaos.FaultKind
+	switch {
+	case i == 0:
+		kind = chaos.FaultMigInterrupt
+	case i == 1:
+		kind = chaos.FaultPodKill
+	case i == 2:
+		kind = chaos.FaultPodFence
+	default:
+		switch roll := rng.Intn(100); {
+		case roll < 45:
+			kind = chaos.FaultMigInterrupt
+		case roll < 75:
+			kind = chaos.FaultPodFence
+		default:
+			kind = chaos.FaultPodKill
+		}
+	}
+
+	switch kind {
+	case chaos.FaultPodKill:
+		// Eligible: a healthy pod whose death leaves >= 2 healthy pods.
+		cands := r.healthyPods()
+		if len(cands) < 3 {
+			return r.planMigInterrupt(i, rng)
+		}
+		pod := cands[rng.Intn(len(cands))]
+		spec := chaos.FaultSpec{
+			I: i, Kind: kind, Pod: pod,
+			ArmProb: fcArmProb, ArmSeed: rng.Uint64(),
+		}
+		heap := r.f.Pod(pod).Heap()
+		for tid := 0; tid < r.cfg.Threads; tid++ {
+			if heap.Alive(tid) {
+				spec.Victims = append(spec.Victims, tid)
+			}
+		}
+		if len(spec.Victims) == 0 {
+			return r.planMigInterrupt(i, rng)
+		}
+		return spec, true
+
+	case chaos.FaultPodFence:
+		// Keep >= 2 unfenced pods so kills stay plannable and darked
+		// shards always have a failover target.
+		cands := r.healthyPods()
+		if len(cands) < 3 {
+			return r.planMigInterrupt(i, rng)
+		}
+		ht := uint64(r.tickRate * r.cfg.FenceWall.Seconds())
+		if ht < 1 {
+			ht = 1
+		}
+		return chaos.FaultSpec{I: i, Kind: kind, Pod: cands[rng.Intn(len(cands))], HealTicks: ht}, true
+
+	default:
+		return r.planMigInterrupt(i, rng)
+	}
+}
+
+func (r *chaosRun) planMigInterrupt(i int, rng *xrand.Rand) (chaos.FaultSpec, bool) {
+	var shards []int
+	for s := 0; s < r.cfg.Shards; s++ {
+		owner, _, frozen, claimed := r.f.ShardState(s)
+		if !frozen && !claimed && r.f.Endpoint(owner) {
+			shards = append(shards, s)
+		}
+	}
+	if len(shards) == 0 {
+		return chaos.FaultSpec{}, false
+	}
+	s := shards[rng.Intn(len(shards))]
+	owner, _, _, _ := r.f.ShardState(s)
+	var targets []int
+	for p := 0; p < r.cfg.Pods; p++ {
+		if p != owner && r.f.Endpoint(p) {
+			targets = append(targets, p)
+		}
+	}
+	if len(targets) == 0 {
+		return chaos.FaultSpec{}, false
+	}
+	return chaos.FaultSpec{
+		I: i, Kind: chaos.FaultMigInterrupt, Shard: s,
+		TargetPod: targets[rng.Intn(len(targets))],
+		Step:      MigrationSteps[rng.Intn(len(MigrationSteps))],
+	}, true
+}
+
+// apply executes one spec, re-checking eligibility (replay drift: the
+// fabric may be in a different transient state than when the spec was
+// recorded). Skips are outcomes, not plan changes — the schedule stays
+// byte-identical.
+func (r *chaosRun) apply(spec chaos.FaultSpec) chaos.FaultOutcome {
+	out := chaos.FaultOutcome{I: spec.I, Kind: spec.Kind}
+	switch spec.Kind {
+	case chaos.FaultPodKill:
+		r.applyPodKill(spec, &out)
+	case chaos.FaultPodFence:
+		r.applyPodFence(spec, &out)
+	case chaos.FaultMigInterrupt:
+		// Migrate interrupts itself after spec.Step: the "migrator dies"
+		// with the claim held and the shard frozen; the monitor's
+		// stalled-claim sweep must re-drive the handoff.
+		if err := r.f.Migrate(spec.Shard, spec.TargetPod, spec.Step); err != nil {
+			out.Note = err.Error()
+		}
+	default:
+		out.Note = "unknown fault kind"
+	}
+	return out
+}
+
+func (r *chaosRun) applyPodFence(spec chaos.FaultSpec, out *chaos.FaultOutcome) {
+	if !r.f.Endpoint(spec.Pod) {
+		out.Note = "skipped: pod not serving"
+		return
+	}
+	r.f.FencePod(spec.Pod)
+	r.healWG.Add(1)
+	go func() {
+		defer r.healWG.Done()
+		r.waitTick(spec.AtTick + spec.HealTicks)
+		r.f.HealPod(spec.Pod)
+	}()
+}
+
+// applyPodKill kills a whole pod under the crash model: mark it dying
+// (the dark declaration is now expected, not a false takeover), arm
+// every serving thread's random crash points and wait for each to die
+// inside its own op, then kill the worker processes (which own no live
+// slot anymore) and the control process (agent quiesced under its
+// lock). The pod's heartbeat plane stalls; the monitor must do the
+// rest.
+func (r *chaosRun) applyPodKill(spec chaos.FaultSpec, out *chaos.FaultOutcome) {
+	i := spec.Pod
+	if !r.f.Endpoint(i) || len(r.healthyPods()) < 3 {
+		out.Note = "skipped: pod not serving or too few survivors"
+		return
+	}
+	pod := r.f.Pod(i)
+	heap := pod.Heap()
+	procs := make(map[*cxlalloc.Process]bool)
+	var targets []int
+	for _, v := range spec.Victims {
+		if v >= 0 && v < r.cfg.Threads && heap.Alive(v) {
+			targets = append(targets, v)
+			procs[pod.OwnerOf(v)] = true
+		}
+	}
+	r.f.MarkDying(i)
+	if len(targets) > 0 {
+		r.injs[i].ArmRandom(spec.ArmProb, spec.ArmSeed, targets...)
+		// Death observation is sticky (nothing revives a slot on a dying
+		// pod before failover, but the loop shape matches livechaos).
+		died := make(map[int]bool, len(targets))
+		deadline := time.Now().Add(fcKillWait)
+		for {
+			for _, v := range targets {
+				if !died[v] && !heap.Alive(v) {
+					died[v] = true
+				}
+			}
+			if len(died) == len(targets) || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+		r.injs[i].Disarm()
+		for _, v := range targets {
+			if died[v] {
+				out.Died = append(out.Died, v)
+			}
+		}
+		if len(out.Died) < len(targets) {
+			out.Note = "partial: not all victims died before deadline"
+			return // pod stays dying; never KillProcess over a live slot
+		}
+	}
+	for p := range procs {
+		if p == nil || p.Dead() {
+			continue
+		}
+		owns := false
+		for tid := 0; tid < r.cfg.Threads; tid++ {
+			if heap.Alive(tid) && pod.OwnerOf(tid) == p {
+				owns = true
+				break
+			}
+		}
+		if owns {
+			out.Note = "partial: process still owns live slots"
+			continue
+		}
+		pod.KillProcess(p)
+	}
+	// Control process: the agent lock guarantees no Run is in flight, so
+	// the out-of-band kill never marks a running thread crashed.
+	r.f.AgentQuiesce(i, func() {
+		if heap.Alive(r.f.AgentTid()) {
+			if cp := pod.OwnerOf(r.f.AgentTid()); cp != nil && !cp.Dead() {
+				pod.KillProcess(cp)
+			}
+		}
+	})
+	out.ProcKilled = out.Note == ""
+}
+
+// --- audit and reporting ---------------------------------------------
+
+func (r *chaosRun) audit(elapsed time.Duration) *ChaosReport {
+	cfg := r.cfg
+	rep := &ChaosReport{
+		Pods: cfg.Pods, Threads: cfg.Threads, Procs: cfg.Procs,
+		Shards: cfg.Shards, Keys: cfg.Keys, Issuers: cfg.Issuers,
+		Seed: cfg.Seed, Duration: cfg.Duration, Elapsed: elapsed,
+		Replayed:  cfg.Replay != nil,
+		MTTRBound: cfg.MTTRBound,
+		Schedule:  r.schedule, Outcomes: r.outcomes,
+	}
+
+	// Final oracle sweep: every key read from its current owner pod's
+	// control thread, at quiescence, and byte-validated by the codec.
+	byPod := make([][]int, cfg.Pods)
+	var keyb []byte
+	for k := 0; k < cfg.Keys; k++ {
+		keyb = chaos.KeyBytes(keyb, k)
+		owner, _ := r.f.Owner(r.f.ShardOfKey(keyb))
+		byPod[owner] = append(byPod[owner], k)
+	}
+	for p, keys := range byPod {
+		if len(keys) == 0 {
+			continue
+		}
+		if err := r.f.AgentRun(p, func(tid int) {
+			var kb, gb []byte
+			for _, k := range keys {
+				ver, present, settled := r.orc.Final(k)
+				if !settled {
+					r.violation(fmt.Sprintf("key %d: op still unresolved at audit", k))
+					continue
+				}
+				kb = chaos.KeyBytes(kb, k)
+				got, found := r.f.Store(p).Get(tid, kb, gb)
+				gb = got
+				if !found {
+					if present {
+						r.lostAck(fmt.Sprintf("final: key %d acked ver %d missing from pod %d", k, ver, p))
+					}
+					continue
+				}
+				v, err := chaos.DecodeVal(k, got)
+				if err != nil {
+					r.violation(fmt.Sprintf("final: key %d corrupt on pod %d: %v", k, p, err))
+					continue
+				}
+				if !present || v != ver {
+					r.lostAck(fmt.Sprintf("final: key %d has ver %d on pod %d, oracle has {ver %d present %v}", k, v, p, ver, present))
+				}
+			}
+		}); err != nil {
+			r.violation(fmt.Sprintf("final sweep: pod %d agent: %v", p, err))
+		}
+	}
+
+	// Teardown: delete every key from every pod's store (a stray copy a
+	// drain missed is a leak the ledger audit would catch anyway — but
+	// deleting from all pods makes the audit's verdict about bytes, not
+	// placement), free adopted orphans, and audit each heap to empty.
+	// Decommissioned pods audit too: their memory outlived them.
+	for p := 0; p < cfg.Pods; p++ {
+		st := r.f.Store(p)
+		if err := r.f.AgentRun(p, func(tid int) {
+			var kb []byte
+			for k := 0; k < cfg.Keys; k++ {
+				kb = chaos.KeyBytes(kb, k)
+				for st.Delete(tid, kb) {
+				}
+			}
+			orphans := r.f.Orphans(p)
+			rep.PendingAllocs += len(orphans)
+			for _, op := range orphans {
+				st.FreeOrphan(tid, op)
+			}
+		}); err != nil {
+			r.violation(fmt.Sprintf("teardown: pod %d agent: %v", p, err))
+			continue
+		}
+		st.Drain(cfg.Threads + 1)
+		heap := r.f.Pod(p).Heap()
+		for round := 0; round < 3; round++ {
+			for tid := 0; tid <= cfg.Threads; tid++ {
+				heap.Maintain(tid)
+			}
+		}
+		heap.PublishStats()
+		if err := heap.CheckAll(0); err != nil {
+			r.violation(fmt.Sprintf("pod %d invariants: %v", p, err))
+		}
+		heap.DrainCaches()
+		if err := heap.AuditEmpty(0); err != nil {
+			r.violation(fmt.Sprintf("pod %d ledger audit: %v", p, err))
+		}
+	}
+
+	// Traffic counters.
+	merged := new(telemetry.Hist)
+	for _, is := range r.issuers {
+		rep.Ops += is.ops.Load()
+		rep.Acked += is.acked.Load()
+		rep.Failed += is.failed.Load()
+		rep.Crashed += is.crashed.Load()
+		rep.Puts += is.puts.Load()
+		rep.Gets += is.gets.Load()
+		rep.Deletes += is.dels.Load()
+		rep.Retries += is.client.Retries()
+		is.histMu.Lock()
+		merged.Merge(is.hist)
+		is.histMu.Unlock()
+	}
+	if elapsed > 0 {
+		rep.Throughput = float64(rep.Ops) / elapsed.Seconds()
+	}
+	rep.LatencyP50 = time.Duration(merged.Quantile(0.50))
+	rep.LatencyP99 = time.Duration(merged.Quantile(0.99))
+
+	// Injection coverage: a fault counts only when it fully applied.
+	for i := range r.schedule {
+		switch r.schedule[i].Kind {
+		case chaos.FaultPodKill:
+			if r.outcomes[i].ProcKilled {
+				rep.PodKills++
+			}
+		case chaos.FaultPodFence:
+			if r.outcomes[i].Note == "" {
+				rep.PodFences++
+			}
+		case chaos.FaultMigInterrupt:
+			if r.outcomes[i].Note == "" {
+				rep.MigInterrupts++
+			}
+		}
+	}
+
+	rep.Fabric = r.f.Stats()
+	rep.ThreadFalseTakeovers = r.f.FalseTakeovers()
+	for _, v := range r.f.Violations() {
+		r.violation("fabric: " + v)
+	}
+	mttrs := r.f.MTTRs()
+	rep.MTTRCount = len(mttrs)
+	if len(mttrs) > 0 {
+		sort.Slice(mttrs, func(a, b int) bool { return mttrs[a] < mttrs[b] })
+		rep.MTTRP50 = mttrs[len(mttrs)/2]
+		rep.MTTRMax = mttrs[len(mttrs)-1]
+		if rep.MTTRMax > cfg.MTTRBound {
+			r.violation(fmt.Sprintf("failover MTTR %v exceeds bound %v", rep.MTTRMax, cfg.MTTRBound))
+		}
+	}
+
+	if cfg.Replay != nil {
+		rep.ReplayOK = chaos.SameSchedule(cfg.Replay, r.schedule)
+		if !rep.ReplayOK {
+			r.violation("replay: emitted schedule differs from loaded schedule")
+		}
+	}
+
+	r.gateMu.Lock()
+	rep.Violations = r.violations
+	rep.LostAcks = r.lostAcks
+	r.gateMu.Unlock()
+	return rep
+}
+
+// FormatChaosReport renders a human-readable summary.
+func FormatChaosReport(r *ChaosReport) string {
+	var b strings.Builder
+	mode := "record"
+	if r.Replayed {
+		mode = "replay"
+	}
+	fmt.Fprintf(&b, "fabricchaos: %d pods x %d threads, %d shards, %d keys, %d issuers, seed %d, %v traffic (%s mode)\n",
+		r.Pods, r.Threads, r.Shards, r.Keys, r.Issuers, r.Seed, r.Elapsed.Round(time.Millisecond), mode)
+	fmt.Fprintf(&b, "  traffic:   %d ops (%.0f ops/s), %d acked (%d puts, %d deletes), %d gets, %d failed, %d crashed, %d retries\n",
+		r.Ops, r.Throughput, r.Acked, r.Puts, r.Deletes, r.Gets, r.Failed, r.Crashed, r.Retries)
+	fmt.Fprintf(&b, "  latency:   p50 %v  p99 %v\n", r.LatencyP50, r.LatencyP99)
+	fmt.Fprintf(&b, "  injected:  %d pod kills, %d pod fences, %d mig interrupts (%d faults scheduled)\n",
+		r.PodKills, r.PodFences, r.MigInterrupts, len(r.Schedule))
+	s := r.Fabric
+	fmt.Fprintf(&b, "  fabric:    %d darks, %d fences, %d heals, %d failovers; migrations %d started, %d flipped, %d retaken, %d interrupted, %d aborted; %d router rejects\n",
+		s.PodDarks, s.PodFences, s.PodHeals, s.Failovers, s.MigStarts, s.MigFlips, s.MigRetakes, s.MigInterrupts, s.MigAborts, s.RouterRejects)
+	fmt.Fprintf(&b, "  failover:  %d MTTR spans, p50 %v  max %v (bound %v)\n",
+		r.MTTRCount, r.MTTRP50.Round(time.Millisecond), r.MTTRMax.Round(time.Millisecond), r.MTTRBound)
+	if r.PendingAllocs > 0 {
+		fmt.Fprintf(&b, "  pending allocs adopted from rescues: %d\n", r.PendingAllocs)
+	}
+	if r.Replayed {
+		fmt.Fprintf(&b, "  replay:    schedule match = %v (%d faults)\n", r.ReplayOK, len(r.Schedule))
+	}
+	fmt.Fprintf(&b, "  gates:     %d violations, %d lost acks, %d false shard takeovers, %d thread false takeovers -> %s\n",
+		len(r.Violations), len(r.LostAcks), r.Fabric.FalseShardTakeovers, r.ThreadFalseTakeovers,
+		map[bool]string{true: "PASS", false: "FAIL"}[r.Ok()])
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "    violation: %s\n", v)
+	}
+	for _, v := range r.LostAcks {
+		fmt.Fprintf(&b, "    lost-ack:  %s\n", v)
+	}
+	return b.String()
+}

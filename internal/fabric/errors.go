@@ -1,0 +1,36 @@
+package fabric
+
+import "fmt"
+
+// Routing-level rejections. All mean "the route is gone, re-resolve
+// and retry" — they implement the server's Reroute marker, so a
+// server.Client retries them on the flat fast-reroute backoff while
+// still spending retry budget, and server.Retryable treats them as
+// never-executed (safe to resubmit).
+
+// PodDarkError: the shard's owner pod is dark, fenced, or
+// decommissioned. Retry after the failover flips ownership (or the
+// fence heals).
+type PodDarkError struct{ Pod int }
+
+func (e *PodDarkError) Error() string { return fmt.Sprintf("fabric: pod %d dark", e.Pod) }
+func (e *PodDarkError) Reroute() bool { return true }
+
+// ShardFrozenError: a write raced a migration's freeze window. Retry
+// lands on the new owner once the epoch flips (or back on the old
+// owner if the handoff aborted).
+type ShardFrozenError struct{ Shard int }
+
+func (e *ShardFrozenError) Error() string {
+	return fmt.Sprintf("fabric: shard %d frozen for handoff", e.Shard)
+}
+func (e *ShardFrozenError) Reroute() bool { return true }
+
+// ShardMovedError: ownership changed between routing and execution
+// (the gate's epoch check). The op never executed.
+type ShardMovedError struct{ Shard int }
+
+func (e *ShardMovedError) Error() string {
+	return fmt.Sprintf("fabric: shard %d moved before execution", e.Shard)
+}
+func (e *ShardMovedError) Reroute() bool { return true }

@@ -165,6 +165,46 @@ func (s *Store) Get(tid int, key []byte, dst []byte) ([]byte, bool) {
 	return dst, false
 }
 
+// Range calls fn for every live key/value pair, passing buffers that
+// alias allocator memory — fn must copy anything it keeps. The walk is
+// safe against concurrent readers and head-inserts (it holds an epoch
+// guard), best-effort under concurrent writes, and exact once writes
+// to the keys involved are frozen — the fabric migration copy path
+// freezes the shard before ranging. Returning false stops the walk.
+func (s *Store) Range(tid int, fn func(key, val []byte) bool) {
+	s.rec.Enter(tid)
+	defer s.rec.Exit(tid)
+	for bi := range s.buckets {
+		head := s.buckets[bi].Load()
+		for n := head; n != nil; n = n.next.Load() {
+			if n.deleted.Load() {
+				continue
+			}
+			buf := s.mem.Bytes(tid, n.ptr, int(n.keyLen)+int(n.valLen))
+			key := buf[:n.keyLen]
+			// Newest-wins dedup: a put that crashed between its head CAS
+			// and retiring the old entry leaves a shadowed duplicate
+			// deeper in the chain; only the node nearest the head counts.
+			shadowed := false
+			for m := head; m != n; m = m.next.Load() {
+				if m.deleted.Load() || m.hash != n.hash || m.keyLen != n.keyLen {
+					continue
+				}
+				if bytes.Equal(s.mem.Bytes(tid, m.ptr, int(m.keyLen)), key) {
+					shadowed = true
+					break
+				}
+			}
+			if shadowed {
+				continue
+			}
+			if !fn(key, buf[n.keyLen:]) {
+				return
+			}
+		}
+	}
+}
+
 // Delete removes key, reporting whether it was present.
 func (s *Store) Delete(tid int, key []byte) bool {
 	h := hash(key)

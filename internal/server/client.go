@@ -14,8 +14,14 @@ import (
 // and deadline propagation — a retry reuses the original request's
 // absolute deadline, and no retry is attempted whose backoff would
 // land past it.
+// Submitter is the admission surface a Client drives: a single Server,
+// or a fabric router that resolves shard ownership per request.
+type Submitter interface {
+	Submit(r *Request)
+}
+
 type Client struct {
-	srv *Server
+	srv Submitter
 
 	// Jitter source; a client's requests may run from many goroutines
 	// (connection lanes), and jitter is only drawn on the retry path.
@@ -39,8 +45,9 @@ const (
 	creditPer = 20
 )
 
-// NewClient creates a client over srv with a seeded jitter source.
-func NewClient(srv *Server, seed uint64) *Client {
+// NewClient creates a client over srv (a Server or a fabric router)
+// with a seeded jitter source.
+func NewClient(srv Submitter, seed uint64) *Client {
 	c := &Client{
 		srv:         srv,
 		rng:         xrand.New(xrand.Mix(seed) ^ 0xc11e47),
@@ -85,12 +92,23 @@ func (c *Client) Do(r *Request) *Response {
 		if !Retryable(resp.Err, r.Op == OpGet) {
 			return resp
 		}
-		backoff := c.BackoffBase << uint(attempt)
-		if backoff > c.BackoffMax || backoff <= 0 {
-			backoff = c.BackoffMax
-		}
-		if pf, ok := resp.Err.(*ErrPodFull); ok && pf.RetryAfter > backoff {
-			backoff = pf.RetryAfter
+		var backoff time.Duration
+		if Rerouteable(resp.Err) {
+			// A re-route rejection is not a congestion signal — the route
+			// itself changed (breaker open, pod dark, shard moved), and
+			// the resubmission will re-resolve it. Retry at the flat base
+			// delay instead of growing exponentially; the spend() below
+			// still charges the budget, so a dark route under sustained
+			// load stays bounded by the same 20% allowance.
+			backoff = c.BackoffBase
+		} else {
+			backoff = c.BackoffBase << uint(attempt)
+			if backoff > c.BackoffMax || backoff <= 0 {
+				backoff = c.BackoffMax
+			}
+			if pf, ok := resp.Err.(*ErrPodFull); ok && pf.RetryAfter > backoff {
+				backoff = pf.RetryAfter
+			}
 		}
 		// Full jitter: uniform in [backoff/2, backoff), decorrelating the
 		// retry wave a shed burst would otherwise synchronize.

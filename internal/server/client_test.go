@@ -1,0 +1,91 @@
+package server
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// rejectSub is a Submitter whose route is permanently gone: every
+// submission is rejected with a re-routeable error, the way a dark
+// group (or a dark pod, through the fabric router) answers under
+// sustained load.
+type rejectSub struct {
+	submits atomic.Uint64
+	err     error
+}
+
+func (s *rejectSub) Submit(r *Request) {
+	s.submits.Add(1)
+	Reject(r, s.err)
+}
+
+// podDarkTestErr mimics a fabric routing error electing re-route
+// semantics via the Reroute marker.
+type podDarkTestErr struct{}
+
+func (podDarkTestErr) Error() string { return "test: pod dark" }
+func (podDarkTestErr) Reroute() bool { return true }
+
+func TestRerouteable(t *testing.T) {
+	if !Rerouteable(ErrBreakerOpen) {
+		t.Error("ErrBreakerOpen must be rerouteable")
+	}
+	if !Rerouteable(podDarkTestErr{}) {
+		t.Error("Reroute-marked errors must be rerouteable")
+	}
+	if Rerouteable(ErrWriteShed) || Rerouteable(ErrQueueFull) || Rerouteable(nil) {
+		t.Error("congestion sheds are not rerouteable")
+	}
+}
+
+// TestClientRerouteBudget is the regression for breaker re-route
+// accounting: re-route retries ride a flat fast backoff, but they must
+// consume retry-budget tokens like any retry, so a dark route under
+// sustained load cannot amplify traffic past the 20% steady-state
+// allowance (plus the initial bank).
+func TestClientRerouteBudget(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		err  error
+	}{
+		{"breaker-open", ErrBreakerOpen},
+		{"pod-dark", podDarkTestErr{}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sub := &rejectSub{err: tc.err}
+			c := NewClient(sub, 1)
+			// Tiny backoffs: with the deadline far away, every Do would
+			// retry indefinitely if only backoff gated it — the budget
+			// must be what stops the storm.
+			c.BackoffBase = time.Microsecond
+			c.BackoffMax = 2 * time.Microsecond
+			const fresh = 400
+			for i := 0; i < fresh; i++ {
+				r := NewRequest()
+				r.Op = OpPut
+				r.Key = []byte("k")
+				r.Val = []byte("v")
+				r.Deadline = time.Minute
+				if resp := c.Do(r); resp.Err == nil {
+					t.Fatal("expected a rejection")
+				}
+			}
+			retries := c.Retries()
+			if retries == 0 {
+				t.Fatal("expected the client to retry at all")
+			}
+			// Budget arithmetic: the initial bank is maxBudget/10 =
+			// 10 retries; each fresh request credits creditPer/tokenCost
+			// = 20% of a retry. Anything past that is amplification.
+			allowed := uint64(10 + fresh*creditPer/tokenCost)
+			if retries > allowed {
+				t.Fatalf("re-routes amplified past the retry budget: %d retries for %d fresh requests (allowed %d)",
+					retries, fresh, allowed)
+			}
+			if got := sub.submits.Load(); got != uint64(fresh)+retries {
+				t.Fatalf("submit accounting: %d submits, want fresh(%d)+retries(%d)", got, fresh, retries)
+			}
+		})
+	}
+}

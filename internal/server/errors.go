@@ -68,6 +68,25 @@ func IsPodFull(err error) bool {
 	return errors.As(err, &pf)
 }
 
+// rerouter is implemented by rejections that mean "the route you used
+// is gone" (fabric: pod dark, shard frozen or moved) rather than "the
+// system is overloaded". They are retried on a flat, short backoff —
+// the retry will re-resolve routing and usually land on the new owner
+// — but still consume retry budget like every other retry, so a dark
+// pod under sustained load cannot amplify traffic past the budget.
+type rerouter interface{ Reroute() bool }
+
+// Rerouteable reports whether err is a routing-level rejection: the
+// breaker rejected every eligible group, or a fabric error elected
+// re-route semantics via the Reroute marker.
+func Rerouteable(err error) bool {
+	if errors.Is(err, ErrBreakerOpen) {
+		return true
+	}
+	var rr rerouter
+	return errors.As(err, &rr) && rr.Reroute()
+}
+
 // Retryable reports whether a rejected request may be safely
 // resubmitted: the request was never executed, so a retry cannot
 // double-apply. Deadline expiry is permanent by definition, and a

@@ -44,6 +44,12 @@ type Request struct {
 	// version being displaced — ground truth for crash resolution.
 	PrevVer uint64
 
+	// Shard and ShardEpoch are stamped by a fabric router at routing
+	// time; the execution-time Gate re-validates them so an op admitted
+	// before a shard moved cannot execute against the old owner.
+	Shard      int
+	ShardEpoch uint64
+
 	arriveWall   time.Time
 	arriveTick   uint64
 	deadlineWall time.Time
@@ -69,6 +75,7 @@ func (r *Request) Reset() {
 	r.arriveWall, r.deadlineWall = time.Time{}, time.Time{}
 	r.arriveTick, r.deadlineTick = 0, 0
 	r.PrevVer = 0
+	r.Shard, r.ShardEpoch = 0, 0
 }
 
 // ArriveTick returns the pod-logical-clock arrival stamp of the most
@@ -127,6 +134,15 @@ type Config struct {
 	// versioned client's codec); used to resolve a crashed delete's
 	// fate exactly. Nil falls back to "value present ⇒ not applied".
 	DecodeVer func(keyID int, val []byte) (uint64, error)
+
+	// Gate, when set, runs immediately before each op executes (fabric
+	// shard-ownership check): it re-validates the request's routing
+	// stamps against current ownership. A non-nil error rejects the op
+	// unexecuted (counted as ShedShard); a non-nil release pins the
+	// shard for the op's duration and is invoked once the op's fate is
+	// settled — including a crashed write's post-repair resolution — so
+	// "pins drained" implies no in-flight effect can still land.
+	Gate func(r *Request) (release func(), err error)
 }
 
 func (c Config) withDefaults() Config {
@@ -182,8 +198,10 @@ type Server struct {
 	submitted, admitted, executed            atomic.Uint64
 	shedQueueFull, shedCoDel, shedDeadline   atomic.Uint64
 	shedWrite, shedPodFull, shedBreaker      atomic.Uint64
+	shedShard                                atomic.Uint64
 	breakerReroutes                          atomic.Uint64
 	workerCrashes, crashResolves             atomic.Uint64
+	pendingCrashed                           atomic.Int64
 }
 
 const (
@@ -262,6 +280,7 @@ func (s *Server) Stats() telemetry.ServerStats {
 		ShedWrite:       s.shedWrite.Load(),
 		ShedPodFull:     s.shedPodFull.Load(),
 		ShedBreaker:     s.shedBreaker.Load(),
+		ShedShard:       s.shedShard.Load(),
 		BreakerReroutes: s.breakerReroutes.Load(),
 		WorkerCrashes:   s.workerCrashes.Load(),
 		CrashResolves:   s.crashResolves.Load(),
@@ -272,11 +291,38 @@ func (s *Server) Stats() telemetry.ServerStats {
 	return st
 }
 
+// PendingCrashed returns how many crashed writes are still awaiting
+// post-repair resolution. A fabric failover must drive this to zero —
+// by rescuing the pod's dead slots so workers can resolve — before
+// stopping the server: answering a maybe-applied write ErrStopped
+// would hide its true fate from the acked-write oracle.
+func (s *Server) PendingCrashed() int64 { return s.pendingCrashed.Load() }
+
 func (s *Server) clockNow() uint64 { return s.heap.ClockNow(0) }
 
 func (s *Server) respond(r *Request, err error) {
 	r.resp.Err = err
 	r.resp.DoneWall = time.Now()
+	r.done <- r
+}
+
+// Reject answers r with err without admitting it to any server — the
+// router-level rejection path (fabric: dark pod, frozen shard, no
+// owner). It stamps arrival and the absolute deadline exactly like
+// Submit, so client backoff and deadline propagation see a normally
+// stamped request.
+func Reject(r *Request, err error) {
+	now := time.Now()
+	r.arriveWall = now
+	if r.deadlineWall.IsZero() {
+		d := r.Deadline
+		if d <= 0 {
+			d = 24 * time.Hour
+		}
+		r.deadlineWall = now.Add(d)
+	}
+	r.resp.Err = err
+	r.resp.DoneWall = now
 	r.done <- r
 }
 
@@ -393,6 +439,15 @@ type pendOp struct {
 	req     *Request
 	ptr     cxlalloc.Ptr // put: captured allocation (0 = Alloc never returned)
 	applied bool
+	release func() // gate permit, held until the op's fate is settled
+}
+
+// settle releases a pend's gate permit (once).
+func (p *pendOp) settle() {
+	if p.release != nil {
+		p.release()
+		p.release = nil
+	}
 }
 
 // worker serves group g from thread slot tid. The loop mirrors the
@@ -443,6 +498,8 @@ func (s *Server) worker(g *group, tid int) {
 				// one honest error left.
 				if pend != nil {
 					s.respond(pend.req, ErrStopped)
+					pend.settle()
+					s.pendingCrashed.Add(-1)
 				}
 				if held != nil {
 					s.respond(held, ErrStopped)
@@ -465,6 +522,8 @@ func (s *Server) worker(g *group, tid int) {
 			p.req.resp.Applied = p.applied
 			pend = nil
 			s.respond(p.req, ErrCrashed)
+			p.settle()
+			s.pendingCrashed.Add(-1)
 			continue
 		}
 
@@ -499,6 +558,26 @@ func (s *Server) worker(g *group, tid int) {
 			continue
 		}
 
+		// Execution-time ownership check: the shard may have moved or
+		// frozen between routing and dequeue; the permit (release) pins
+		// it against a freeze until this op's fate is settled.
+		var release func()
+		if s.cfg.Gate != nil {
+			var gerr error
+			release, gerr = s.cfg.Gate(req)
+			if gerr != nil {
+				s.shedShard.Add(1)
+				s.respond(req, gerr)
+				continue
+			}
+		}
+		unpin := func() {
+			if release != nil {
+				release()
+				release = nil
+			}
+		}
+
 		var pc *pendOp
 		if req.Op != OpGet {
 			pc = &pendOp{req: req}
@@ -510,7 +589,9 @@ func (s *Server) worker(g *group, tid int) {
 		})
 		if c != nil {
 			if c.TID != tid {
-				// A hosted repair crashed before our op ran; retry it.
+				// A hosted repair crashed before our op ran; retry it
+				// (through the gate again — ownership may have changed).
+				unpin()
 				held = req
 				continue
 			}
@@ -518,18 +599,26 @@ func (s *Server) worker(g *group, tid int) {
 			th = nil
 			if !executed {
 				// Died in the heartbeat phase: the op never started.
+				unpin()
 				held = req
 				continue
 			}
 			s.workerCrashes.Add(1)
 			if req.Op == OpGet {
 				// Reads have no effect; the crash is the whole story.
+				unpin()
 				s.respond(req, ErrCrashed)
 			} else {
-				pend = pc // fate unknown until resolved after repair
+				// Fate unknown until resolved after repair; the permit
+				// rides on the pend so a frozen shard waits for it.
+				pc.release = release
+				release = nil
+				pend = pc
+				s.pendingCrashed.Add(1)
 			}
 			continue
 		}
+		unpin()
 		s.executed.Add(1)
 		s.respond(req, req.resp.Err)
 	}

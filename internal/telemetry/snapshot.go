@@ -116,6 +116,7 @@ type ServerStats struct {
 	ShedWrite     uint64 `json:"shed_write"`      // soft memory watermark: writes rejected
 	ShedPodFull   uint64 `json:"shed_pod_full"`   // hard memory watermark or allocator OOM
 	ShedBreaker   uint64 `json:"shed_breaker"`    // every eligible process group's breaker open
+	ShedShard     uint64 `json:"shed_shard"`      // fabric gate: shard moved/frozen between routing and execution
 
 	// Circuit breaker around watchdog-repaired process groups.
 	BreakerOpens    uint64 `json:"breaker_opens"`    // closed->open transitions
@@ -201,6 +202,7 @@ func (s Snapshot) Delta(prev Snapshot) Snapshot {
 			ShedWrite:       s.Server.ShedWrite - prev.Server.ShedWrite,
 			ShedPodFull:     s.Server.ShedPodFull - prev.Server.ShedPodFull,
 			ShedBreaker:     s.Server.ShedBreaker - prev.Server.ShedBreaker,
+			ShedShard:       s.Server.ShedShard - prev.Server.ShedShard,
 			BreakerOpens:    s.Server.BreakerOpens - prev.Server.BreakerOpens,
 			BreakerReroutes: s.Server.BreakerReroutes - prev.Server.BreakerReroutes,
 			WorkerCrashes:   s.Server.WorkerCrashes - prev.Server.WorkerCrashes,

@@ -74,6 +74,20 @@ const (
 	// CrashDiscard. A = lines dropped, Arg = in-play window size.
 	EvCrashDiscard
 
+	// Fabric plane (internal/fabric): pod-granularity liveness and shard
+	// ownership. EvPodDark/EvPodHeal: A = pod id, Arg = cause (fence vs
+	// heartbeat stall). Shard lifecycle: A = shard id, Arg = pod id —
+	// EvShardClaim = migration claim word taken, EvShardFlip = routing
+	// epoch advanced to the new owner, EvShardDrain = old owner's copy
+	// deleted. EvMigInterrupt: an injected fault killed a migrator
+	// mid-protocol (Arg = step index it died after).
+	EvPodDark
+	EvPodHeal
+	EvShardClaim
+	EvShardFlip
+	EvShardDrain
+	EvMigInterrupt
+
 	numKinds
 )
 
@@ -106,6 +120,12 @@ var kindNames = [numKinds]string{
 	EvRescue:        "rescue",
 	EvSelfFence:     "self-fence",
 	EvCrashDiscard:  "crash.discard",
+	EvPodDark:       "pod.dark",
+	EvPodHeal:       "pod.heal",
+	EvShardClaim:    "shard.claim",
+	EvShardFlip:     "shard.flip",
+	EvShardDrain:    "shard.drain",
+	EvMigInterrupt:  "mig.interrupt",
 }
 
 // String returns the stable event-schema name of k.
